@@ -1,0 +1,52 @@
+// Extension — CFinder-style cover statistics per k: coverage, membership
+// numbers, community degrees, overlap sizes. Complements the paper's
+// overlap-fraction study with the standard CPM cover characterisation.
+#include "harness.h"
+
+#include "common/table.h"
+#include "metrics/cover_stats.h"
+
+namespace {
+
+int body(const kcc::bench::HarnessConfig& config) {
+  using namespace kcc;
+  const PipelineResult result = kcc::bench::run_harness(config);
+  const std::size_t n = result.eco.num_ases();
+
+  TextTable table({"k", "coverage", "mean membership", "max membership",
+                   "mean comm. degree", "overlapping pairs"});
+  for (std::size_t k = result.cpm.min_k; k <= result.cpm.max_k; ++k) {
+    const CoverStats stats = compute_cover_stats(result.cpm.at(k), n);
+    table.add(k, percent(double(stats.covered_nodes) / double(n)),
+              fixed(stats.mean_membership, 3), stats.max_membership,
+              fixed(stats.mean_community_degree, 2),
+              stats.overlapping_pairs);
+  }
+  std::cout << table;
+
+  // Highlight the k with the richest overlap structure.
+  std::size_t best_k = result.cpm.min_k;
+  std::size_t best_pairs = 0;
+  for (std::size_t k = result.cpm.min_k; k <= result.cpm.max_k; ++k) {
+    const CoverStats stats = compute_cover_stats(result.cpm.at(k), n);
+    if (stats.overlapping_pairs > best_pairs) {
+      best_pairs = stats.overlapping_pairs;
+      best_k = k;
+    }
+  }
+  std::cout << "\nRichest overlap structure at k = " << best_k << " ("
+            << best_pairs << " overlapping community pairs)\n";
+  std::cout << "Shape: coverage decays with k (Fig. 4.3's member-union "
+               "view); overlap is concentrated at low-to-mid k.\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return kcc::bench::guarded_main(
+      argc, argv, "Extension — cover statistics per k",
+      "membership numbers, community degrees, and overlap sizes (the "
+      "standard CPM cover characterisation of Palla et al.)",
+      body);
+}

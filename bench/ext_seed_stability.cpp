@@ -1,0 +1,84 @@
+// Extension — seed stability of the reproduction: headline aggregates
+// across independently generated ecosystems. A reproduction whose shape
+// claims only hold for one lucky seed would be worthless; this harness
+// quantifies the spread.
+#include "harness.h"
+
+#include <cmath>
+
+#include "common/table.h"
+
+namespace {
+
+struct Stats {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+Stats stats_of(const std::vector<double>& xs) {
+  Stats s;
+  if (xs.empty()) return s;
+  for (double x : xs) s.mean += x;
+  s.mean /= double(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - s.mean) * (x - s.mean);
+  s.stddev = std::sqrt(var / double(xs.size()));
+  return s;
+}
+
+int body(const kcc::bench::HarnessConfig& config) {
+  using namespace kcc;
+  constexpr int kSeeds = 5;
+  std::vector<double> total_communities, max_k, apex_size, crown_full_share,
+      root_country_contained, overlap_mean;
+
+  for (int s = 0; s < kSeeds; ++s) {
+    PipelineOptions options;
+    options.synth = SynthParams::test_scale();
+    options.synth.seed = config.pipeline.synth.seed + std::uint64_t(s) * 101;
+    const PipelineResult r = run_pipeline(options);
+
+    total_communities.push_back(double(r.cpm.total_communities()));
+    max_k.push_back(double(r.cpm.max_k));
+    const TreeNode& apex = r.tree.nodes()[r.tree.apex()];
+    apex_size.push_back(double(apex.size));
+    std::size_t crown_fs = 0, root_cc = 0;
+    for (const auto& p : r.profiles) {
+      if (r.bands.band_of(p.k) == Band::kCrown && !p.full_share.empty()) {
+        ++crown_fs;
+      }
+      if (r.bands.band_of(p.k) == Band::kRoot && !p.is_main &&
+          !p.containing_country.empty()) {
+        ++root_cc;
+      }
+    }
+    crown_full_share.push_back(double(crown_fs));
+    root_country_contained.push_back(double(root_cc));
+    overlap_mean.push_back(aggregate_parallel_vs_main(r.overlaps).mean);
+  }
+
+  TextTable table({"metric", "mean", "stddev"});
+  auto row = [&](const char* name, const std::vector<double>& xs) {
+    const Stats s = stats_of(xs);
+    table.add(name, fixed(s.mean, 2), fixed(s.stddev, 2));
+  };
+  row("total communities", total_communities);
+  row("max k", max_k);
+  row("apex community size", apex_size);
+  row("crown full-share communities", crown_full_share);
+  row("root country-contained communities", root_country_contained);
+  row("mean parallel-vs-main overlap", overlap_mean);
+  std::cout << kSeeds << " independent seeds at test scale:\n" << table;
+  std::cout << "\nShape claims hold across seeds when the stddev stays small "
+               "relative to the mean.\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return kcc::bench::guarded_main(
+      argc, argv, "Extension — seed stability",
+      "headline reproduction aggregates across independent generator seeds",
+      body);
+}

@@ -1,0 +1,51 @@
+// Extension — community evolution across churned snapshots (AS birth,
+// rehoming, link loss), in the spirit of the AS-evolution study the paper
+// cites as [22].
+#include "harness.h"
+
+#include "analysis/temporal.h"
+#include "common/table.h"
+#include "synth/as_topology.h"
+
+namespace {
+
+int body(const kcc::bench::HarnessConfig& config) {
+  using namespace kcc;
+  SynthParams params = SynthParams::test_scale();
+  params.seed = config.pipeline.synth.seed;
+  const AsEcosystem eco = generate_ecosystem(params);
+  std::cout << "[run] temporal tracking at test scale: " << eco.num_ases()
+            << " ASes\n\n";
+
+  TextTable table({"churn level", "k", "snapshots", "survivals", "births",
+                   "deaths", "mean survivor Jaccard"});
+  for (double churn_scale : {0.5, 1.0, 2.0}) {
+    ChurnParams churn;
+    churn.stub_rewire_fraction = 0.05 * churn_scale;
+    churn.edge_drop_fraction = 0.02 * churn_scale;
+    churn.new_edges = static_cast<std::size_t>(60 * churn_scale);
+    for (std::size_t k : {3u, 5u}) {
+      const TemporalSummary summary = track_communities(
+          eco.topology.graph, k, 3, churn, params.seed);
+      table.add(fixed(churn_scale, 1) + "x", k,
+                summary.community_counts.size(), summary.survivals,
+                summary.births, summary.deaths,
+                fixed(summary.mean_survivor_jaccard, 3));
+    }
+  }
+  std::cout << table;
+  std::cout << "\nShape: higher churn lowers survivor similarity and raises "
+               "birth/death turnover; higher k communities (denser cores) "
+               "survive churn better than k=3 fringes.\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return kcc::bench::guarded_main(
+      argc, argv, "Extension — temporal community evolution",
+      "k-clique communities tracked across topology churn: stable cores vs "
+      "volatile fringes",
+      body);
+}

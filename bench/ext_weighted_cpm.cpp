@@ -1,0 +1,46 @@
+// Extension ablation — weighted CPM (CPMw) with IXP-derived peering
+// weights: the intensity threshold isolates multi-IXP-backed cores.
+#include "harness.h"
+
+#include "common/table.h"
+#include "cpm/weighted_cpm.h"
+#include "graph/weighted_graph.h"
+
+namespace {
+
+int body(const kcc::bench::HarnessConfig& config) {
+  using namespace kcc;
+  SynthParams params = SynthParams::test_scale();
+  params.seed = config.pipeline.synth.seed;
+  const AsEcosystem eco = generate_ecosystem(params);
+  const Graph& g = eco.topology.graph;
+  const EdgeWeights weights = weights_from_ixps(g, eco.ixps);
+  std::cout << "[run] weighted CPM at test scale: " << g.num_nodes()
+            << " ASes; weights in [" << weights.min_weight() << ", "
+            << weights.max_weight() << "]\n\n";
+
+  for (std::size_t k : {3u, 4u}) {
+    TextTable table({"k", "intensity threshold", "surviving cliques",
+                     "communities", "largest"});
+    for (const auto& point :
+         intensity_sweep(g, weights, k, {0.0, 1.1, 1.5, 2.0})) {
+      table.add(k, fixed(point.threshold, 1), point.surviving_cliques,
+                point.community_count, point.largest_community);
+    }
+    std::cout << table << "\n";
+  }
+  std::cout << "Shape: thresholds > 1 prune k-cliques without IXP-backed "
+               "links; the surviving communities are the dense IXP cores "
+               "(crown/root), while hierarchy-only cliques vanish.\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return kcc::bench::guarded_main(
+      argc, argv, "Extension — weighted clique percolation (CPMw)",
+      "intensity filtering over peering-strength weights isolates "
+      "IXP-backed community cores",
+      body);
+}

@@ -1,0 +1,70 @@
+// Figure 4.3 — community size vs k, main vs parallel.
+//
+// Paper shape: the main community covers the whole dataset at k = 2 (35,390
+// ASes, 69% at k = 3), decays rapidly, and approaches the parallel sizes
+// only near k = 36; most parallel communities have size close to k.
+#include "harness.h"
+
+#include <algorithm>
+
+#include "common/table.h"
+#include "io/csv.h"
+
+namespace {
+
+int body(const kcc::bench::HarnessConfig& config) {
+  using namespace kcc;
+  const PipelineResult result = kcc::bench::run_harness(config);
+
+  TextTable table({"k", "main size", "main share", "parallel min",
+                   "parallel median", "parallel max"});
+  CsvWriter csv({"k", "main_size", "parallel_sizes"});
+  const double n = static_cast<double>(result.eco.num_ases());
+  for (std::size_t k = result.cpm.min_k; k <= result.cpm.max_k; ++k) {
+    std::vector<std::size_t> parallel_sizes;
+    std::size_t main_size = 0;
+    for (int idx : result.tree.level(k)) {
+      const TreeNode& node = result.tree.nodes()[idx];
+      if (node.is_main) {
+        main_size = node.size;
+      } else {
+        parallel_sizes.push_back(node.size);
+      }
+    }
+    std::sort(parallel_sizes.begin(), parallel_sizes.end());
+    auto cell = [&](std::size_t i) {
+      return parallel_sizes.empty() ? std::string("-")
+                                    : std::to_string(parallel_sizes[i]);
+    };
+    table.add(k, main_size, percent(double(main_size) / n), cell(0),
+              cell(parallel_sizes.size() / 2),
+              cell(parallel_sizes.empty() ? 0 : parallel_sizes.size() - 1));
+    std::string sizes;
+    for (std::size_t s : parallel_sizes) {
+      if (!sizes.empty()) sizes += ';';
+      sizes += std::to_string(s);
+    }
+    csv.add_row({std::to_string(k), std::to_string(main_size), sizes});
+  }
+  std::cout << table;
+  csv.save("fig_4_3.csv");
+
+  const auto& stats = result.level_stats;
+  std::cout << "\nShape checks (paper: 100% at k=2, 69% at k=3, rapid decay):\n";
+  std::cout << "  main covers " << percent(double(stats[0].main_size) / n)
+            << " at k=2, " << percent(double(stats[1].main_size) / n)
+            << " at k=3\n";
+  std::cout << "  main size at top k: " << stats.back().main_size
+            << " (close to k=" << stats.back().k << ")\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return kcc::bench::guarded_main(
+      argc, argv, "Figure 4.3 — community size vs k",
+      "main: 35,390 at k=2 (69% of ASes at k=3) with rapid decay; parallel "
+      "sizes stay close to k",
+      body);
+}

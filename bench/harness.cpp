@@ -1,0 +1,58 @@
+#include "harness.h"
+
+#include "common/error.h"
+#include "common/table.h"
+#include "common/timer.h"
+
+namespace kcc::bench {
+
+HarnessConfig parse_harness_args(int argc, char** argv) {
+  const CliArgs args(argc, argv, {"scale", "seed", "threads"});
+  HarnessConfig config;
+  config.scale = args.get_string("scale", "bench");
+  if (config.scale == "test") {
+    config.pipeline.synth = SynthParams::test_scale();
+  } else if (config.scale == "bench") {
+    config.pipeline.synth = SynthParams::bench_scale();
+  } else if (config.scale == "paper") {
+    config.pipeline.synth = SynthParams::paper_scale();
+  } else {
+    throw Error("unknown --scale '" + config.scale + "' (test|bench|paper)");
+  }
+  config.pipeline.synth.seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 42));
+  config.pipeline.cpm.threads =
+      static_cast<std::size_t>(args.get_int("threads", 0));
+  return config;
+}
+
+PipelineResult run_harness(const HarnessConfig& config) {
+  Timer timer;
+  PipelineResult result = run_pipeline(config.pipeline);
+  std::cout << "[run] scale=" << config.scale
+            << " seed=" << config.pipeline.synth.seed << " ases="
+            << result.eco.num_ases() << " edges="
+            << result.eco.topology.graph.num_edges() << " cliques="
+            << result.cpm.cliques.size() << " max_k=" << result.cpm.max_k
+            << " elapsed=" << fixed(timer.seconds(), 2) << "s\n\n";
+  return result;
+}
+
+void banner(const std::string& experiment, const std::string& paper_claim) {
+  std::cout << "=== " << experiment << " ===\n";
+  std::cout << "Paper: " << paper_claim << "\n\n";
+}
+
+int guarded_main(int argc, char** argv, const std::string& experiment,
+                 const std::string& paper_claim,
+                 int (*body)(const HarnessConfig&)) {
+  try {
+    banner(experiment, paper_claim);
+    return body(parse_harness_args(argc, argv));
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace kcc::bench

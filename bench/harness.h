@@ -1,0 +1,35 @@
+// Shared scaffolding for the experiment harness binaries.
+//
+// Every table_* / fig_* / sec_* binary runs the full pipeline on a synthetic
+// ecosystem (bench scale by default; --scale test|bench|paper, --seed N,
+// --threads N) and prints one experiment's paper-vs-measured comparison.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "analysis/pipeline.h"
+#include "common/cli.h"
+
+namespace kcc::bench {
+
+struct HarnessConfig {
+  PipelineOptions pipeline;
+  std::string scale = "bench";
+};
+
+/// Parses the standard harness flags.
+HarnessConfig parse_harness_args(int argc, char** argv);
+
+/// Runs the pipeline and prints the standard run header.
+PipelineResult run_harness(const HarnessConfig& config);
+
+/// Prints the experiment banner.
+void banner(const std::string& experiment, const std::string& paper_claim);
+
+/// Wraps main() bodies: runs `body`, catching and reporting errors.
+int guarded_main(int argc, char** argv,
+                 const std::string& experiment, const std::string& paper_claim,
+                 int (*body)(const HarnessConfig&));
+
+}  // namespace kcc::bench

@@ -1,0 +1,51 @@
+// Section 4 — overlap-fraction study between communities of the same k.
+//
+// Paper: every parallel community shares at least one AS with its main
+// community (6 exceptions in 627); the parallel-vs-main overlap fraction
+// averages 0.704 over k (variance 0.023, per-k mean always > 0.432);
+// parallel-parallel overlap is too variable to summarise (variance 0.136).
+#include "harness.h"
+
+#include "common/table.h"
+
+namespace {
+
+int body(const kcc::bench::HarnessConfig& config) {
+  using namespace kcc;
+  const PipelineResult result = kcc::bench::run_harness(config);
+
+  TextTable table({"k", "parallel", "mean vs main", "disjoint from main",
+                   "mean parallel-parallel", "disjoint pairs"});
+  for (const auto& s : result.overlaps) {
+    if (s.parallel_count == 0) continue;
+    table.add(s.k, s.parallel_count, fixed(s.mean_parallel_vs_main, 3),
+              s.disjoint_from_main, fixed(s.mean_parallel_parallel, 3),
+              s.disjoint_parallel_pairs);
+  }
+  std::cout << table;
+
+  const OverlapAggregate agg = aggregate_parallel_vs_main(result.overlaps);
+  std::size_t disjoint_total = 0;
+  for (const auto& s : result.overlaps) disjoint_total += s.disjoint_from_main;
+
+  std::cout << "\n";
+  TextTable summary({"metric", "paper", "measured"});
+  summary.add("mean over k of parallel-vs-main fraction", "0.704",
+              fixed(agg.mean, 3));
+  summary.add("variance over k", "0.023", fixed(agg.variance, 3));
+  summary.add("per-k minimum mean", "> 0.432", fixed(agg.min, 3));
+  summary.add("parallel communities disjoint from main", "6",
+              std::to_string(disjoint_total));
+  std::cout << summary;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return kcc::bench::guarded_main(
+      argc, argv, "Section 4 — overlap fractions",
+      "parallel-vs-main overlap fraction: mean 0.704, variance 0.023, per-k "
+      "mean > 0.432; 6 parallel communities disjoint from their main",
+      body);
+}

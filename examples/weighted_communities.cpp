@@ -1,0 +1,46 @@
+// Weighted CPM extension: weight AS links by peering strength (1 + number
+// of shared IXPs) and sweep the intensity threshold — high thresholds
+// isolate the IXP-backed cores of each community.
+//
+//   ./weighted_communities --k=4 --seed=42
+
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "cpm/weighted_cpm.h"
+#include "graph/weighted_graph.h"
+#include "synth/as_topology.h"
+
+int main(int argc, char** argv) {
+  using namespace kcc;
+  try {
+    const CliArgs args(argc, argv, {"k", "seed"});
+    const auto k = static_cast<std::size_t>(args.get_int("k", 4));
+    SynthParams params = SynthParams::test_scale();
+    params.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+
+    const AsEcosystem eco = generate_ecosystem(params);
+    const Graph& g = eco.topology.graph;
+    const EdgeWeights weights = weights_from_ixps(g, eco.ixps);
+    std::cout << "Topology: " << g.num_nodes() << " ASes, " << g.num_edges()
+              << " links; peering weights in [" << weights.min_weight()
+              << ", " << weights.max_weight() << "]\n\n";
+
+    const std::vector<double> thresholds{0.0, 1.1, 1.5, 2.0, 3.0};
+    TextTable table({"intensity threshold", "surviving k-cliques",
+                     "communities", "largest"});
+    for (const auto& point : intensity_sweep(g, weights, k, thresholds)) {
+      table.add(fixed(point.threshold, 1), point.surviving_cliques,
+                point.community_count, point.largest_community);
+    }
+    std::cout << table;
+    std::cout << "\nInterpretation: raising the intensity threshold prunes "
+                 "k-cliques with weak (single-IXP or no-IXP) links, leaving "
+                 "the multi-IXP-backed community cores.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,41 @@
+#include "analysis/pipeline.h"
+
+#include "common/error.h"
+
+namespace kcc {
+
+const CommunityMetrics& PipelineResult::metrics_of(std::size_t k,
+                                                   CommunityId id) const {
+  require(cpm.has_k(k), "PipelineResult::metrics_of: k out of range");
+  const auto& level = metrics_by_k[k - cpm.min_k];
+  require(id < level.size(), "PipelineResult::metrics_of: id out of range");
+  return level[id];
+}
+
+PipelineResult analyze_ecosystem(AsEcosystem eco, const CpmOptions& cpm_opts) {
+  PipelineResult result;
+  result.eco = std::move(eco);
+  result.cpm = run_cpm(result.eco.topology.graph, cpm_opts);
+  require(result.cpm.max_k >= result.cpm.min_k,
+          "analyze_ecosystem: the graph has no cliques to percolate");
+  result.tree = CommunityTree::build(result.cpm);
+  result.level_stats = tree_level_stats(result.tree);
+  result.metrics_by_k.reserve(result.cpm.by_k.size());
+  for (const CommunitySet& set : result.cpm.by_k) {
+    result.metrics_by_k.push_back(
+        compute_metrics(result.eco.topology.graph, set));
+  }
+  result.profiles = profile_communities(result.cpm, result.tree,
+                                        result.eco.ixps, result.eco.geo);
+  result.bands = derive_bands(result.profiles, result.cpm.min_k,
+                              result.cpm.max_k);
+  result.overlaps =
+      overlap_stats(result.cpm, main_ids_by_k(result.tree));
+  return result;
+}
+
+PipelineResult run_pipeline(const PipelineOptions& options) {
+  return analyze_ecosystem(generate_ecosystem(options.synth), options.cpm);
+}
+
+}  // namespace kcc

@@ -1,0 +1,44 @@
+// One-call analysis pipeline: ecosystem → CPM → tree → metrics → tags.
+//
+// This is the top-level convenience API the examples and the experiment
+// harnesses share; every paper table/figure is a projection of a
+// PipelineResult.
+#pragma once
+
+#include <vector>
+
+#include "cpm/community.h"
+#include "cpm/community_tree.h"
+#include "cpm/cpm.h"
+#include "data/tag_analysis.h"
+#include "metrics/community_metrics.h"
+#include "metrics/overlap.h"
+#include "synth/as_topology.h"
+
+namespace kcc {
+
+struct PipelineOptions {
+  SynthParams synth;   // used by run_pipeline (generated input)
+  CpmOptions cpm;
+};
+
+struct PipelineResult {
+  AsEcosystem eco;
+  CpmResult cpm;
+  CommunityTree tree;
+  std::vector<TreeLevelStats> level_stats;
+  std::vector<std::vector<CommunityMetrics>> metrics_by_k;  // aligned with cpm.by_k
+  std::vector<CommunityTagProfile> profiles;
+  BandThresholds bands;  // derived from the full-share structure
+  std::vector<OverlapStatsAtK> overlaps;
+
+  const CommunityMetrics& metrics_of(std::size_t k, CommunityId id) const;
+};
+
+/// Generates a synthetic ecosystem and analyses it.
+PipelineResult run_pipeline(const PipelineOptions& options);
+
+/// Analyses a pre-built ecosystem (e.g. loaded from disk).
+PipelineResult analyze_ecosystem(AsEcosystem eco, const CpmOptions& cpm);
+
+}  // namespace kcc

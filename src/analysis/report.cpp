@@ -1,0 +1,75 @@
+#include "analysis/report.h"
+
+#include <ostream>
+
+#include "common/table.h"
+#include "data/tags.h"
+
+namespace kcc {
+
+void print_ecosystem_summary(std::ostream& os, const AsEcosystem& eco) {
+  const Graph& g = eco.topology.graph;
+  os << "AS-level topology: " << g.num_nodes() << " ASes, " << g.num_edges()
+     << " connections\n";
+  os << "IXP dataset: " << eco.ixps.count() << " IXPs\n";
+  os << "Geographical dataset: " << eco.geo.known_node_count()
+     << " ASes with at least one country\n\n";
+
+  const IxpTagCounts ixp_counts = count_ixp_tags(eco.ixps, g.num_nodes());
+  TextTable ixp_table({"on-IXP", "not-on-IXP"});
+  ixp_table.add(ixp_counts.on_ixp, ixp_counts.not_on_ixp);
+  os << "IXP tagging (Table 2.1 analogue):\n" << ixp_table << "\n";
+
+  const GeoTagCounts geo_counts = count_geo_tags(eco.geo, g.num_nodes());
+  TextTable geo_table({"National", "Continental", "Worldwide", "Unknown"});
+  geo_table.add(geo_counts.national, geo_counts.continental,
+                geo_counts.worldwide, geo_counts.unknown);
+  os << "Geo tagging (Table 2.2 analogue):\n" << geo_table;
+}
+
+void print_level_table(std::ostream& os, const PipelineResult& result) {
+  TextTable table({"k", "communities", "main size", "largest parallel",
+                   "main density", "main ODF"});
+  for (std::size_t k = result.cpm.min_k; k <= result.cpm.max_k; ++k) {
+    const TreeLevelStats& stats = result.level_stats[k - result.cpm.min_k];
+    CommunityId main_id = 0;
+    for (int idx : result.tree.level(k)) {
+      if (result.tree.nodes()[idx].is_main) {
+        main_id = result.tree.nodes()[idx].community_id;
+        break;
+      }
+    }
+    const CommunityMetrics& main_metrics = result.metrics_of(k, main_id);
+    table.add(k, stats.community_count, stats.main_size,
+              stats.largest_parallel_size, fixed(main_metrics.density, 4),
+              fixed(main_metrics.avg_odf, 4));
+  }
+  os << table;
+}
+
+void print_band_summary(std::ostream& os, const PipelineResult& result) {
+  os << "Derived bands: root k <= " << result.bands.root_max_k
+     << ", trunk k <= " << result.bands.trunk_max_k << ", crown above\n";
+  TextTable table({"band", "communities", "mean size", "full-share IXP",
+                   "country-contained", "mean on-IXP frac"});
+  for (const BandSummary& s : summarize_bands(result.profiles, result.bands)) {
+    table.add(band_name(s.band), s.community_count, fixed(s.mean_size, 2),
+              s.with_full_share_ixp, s.country_contained,
+              fixed(s.mean_on_ixp_fraction, 3));
+  }
+  os << table;
+}
+
+void print_overlap_summary(std::ostream& os, const PipelineResult& result) {
+  const OverlapAggregate agg = aggregate_parallel_vs_main(result.overlaps);
+  os << "Parallel-vs-main overlap fraction: mean over k = "
+     << fixed(agg.mean, 3) << ", variance = " << fixed(agg.variance, 3)
+     << ", per-k minimum = " << fixed(agg.min, 3) << " (" << agg.k_count
+     << " k values with parallel communities)\n";
+  std::size_t disjoint = 0;
+  for (const auto& s : result.overlaps) disjoint += s.disjoint_from_main;
+  os << "Parallel communities sharing no AS with their main community: "
+     << disjoint << "\n";
+}
+
+}  // namespace kcc

@@ -1,0 +1,23 @@
+// Shared report rendering for examples and experiment harnesses.
+#pragma once
+
+#include <iosfwd>
+
+#include "analysis/pipeline.h"
+
+namespace kcc {
+
+/// Dataset dimensions + tag counts (paper Sec. 2 summary).
+void print_ecosystem_summary(std::ostream& os, const AsEcosystem& eco);
+
+/// Per-k table: community count, main size, parallel sizes, density, ODF
+/// (the Fig. 4.1/4.3/4.4 series in one table).
+void print_level_table(std::ostream& os, const PipelineResult& result);
+
+/// Crown/trunk/root band summary (Sec. 4.1-4.3).
+void print_band_summary(std::ostream& os, const PipelineResult& result);
+
+/// Overlap-fraction study (Sec. 4).
+void print_overlap_summary(std::ostream& os, const PipelineResult& result);
+
+}  // namespace kcc

@@ -1,0 +1,46 @@
+// Robustness of the community structure under node removal — a library
+// extension (the k-core AS studies the paper cites, e.g. Carmi et al. [6],
+// run exactly this kind of attack/failure analysis).
+//
+// Two removal policies:
+//  * targeted — remove the highest-degree ASes first (attack on hubs /
+//    big IXP participants);
+//  * random — uniform failures.
+// After each removal step the k-clique community structure is recomputed
+// and its key aggregates recorded, showing how the crown collapses under
+// targeted attack long before random failure affects it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace kcc {
+
+enum class RemovalPolicy { kTargetedByDegree, kRandom };
+
+struct RobustnessPoint {
+  double removed_fraction = 0.0;
+  std::size_t nodes_left = 0;
+  std::size_t edges_left = 0;
+  std::size_t max_k = 0;              // largest community order remaining
+  std::size_t total_communities = 0;  // over all k
+  std::size_t giant_component = 0;    // largest connected component size
+};
+
+struct RobustnessOptions {
+  RemovalPolicy policy = RemovalPolicy::kTargetedByDegree;
+  /// Removal fractions to evaluate (of the original node count). 0 must not
+  /// be included; the baseline is reported separately by callers if wanted.
+  std::vector<double> fractions{0.01, 0.02, 0.05, 0.10};
+  std::uint64_t seed = 7;  // used by the random policy
+};
+
+/// Evaluates the community structure after cumulative node removals.
+/// Returned points are ordered as `options.fractions`.
+std::vector<RobustnessPoint> community_robustness(
+    const Graph& g, const RobustnessOptions& options);
+
+}  // namespace kcc

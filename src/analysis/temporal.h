@@ -1,0 +1,67 @@
+// Temporal community tracking — a library extension beyond the paper.
+//
+// The paper analyses a single April-2010 snapshot; its related work ([22],
+// Palla et al. 2007) studies how communities evolve. This module generates
+// a sequence of perturbed ecosystem snapshots (AS churn: stub birth/death,
+// provider rewiring, IXP membership churn) and tracks k-clique communities
+// across them by best-Jaccard matching, classifying the standard events:
+// survival, growth/shrinkage, birth, death.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+#include "synth/as_topology.h"
+
+namespace kcc {
+
+struct ChurnParams {
+  /// Fraction of stub ASes whose provider set is resampled per step.
+  double stub_rewire_fraction = 0.05;
+  /// Fraction of peering (non-hierarchy) edges dropped per step.
+  double edge_drop_fraction = 0.02;
+  /// Number of brand-new multi-homed stub attachment edges added per step.
+  std::size_t new_edges = 100;
+};
+
+/// Applies one churn step to `topology`, returning the next snapshot's
+/// graph. Node count is preserved (AS death is modelled as edge loss).
+/// Deterministic in (input, params, seed).
+Graph churn_step(const Graph& topology, const ChurnParams& params,
+                 std::uint64_t seed);
+
+/// Community lifecycle events between two consecutive snapshots.
+struct CommunityEvent {
+  enum class Kind { kSurvived, kBorn, kDied };
+  Kind kind = Kind::kSurvived;
+  int from_index = -1;  // community index in the earlier snapshot
+  int to_index = -1;    // community index in the later snapshot
+  double jaccard = 0.0;
+  std::ptrdiff_t size_change = 0;
+};
+
+/// Matches communities (sorted node sets) across two snapshots. A pair is a
+/// survival when it is the mutual best match with Jaccard >= `min_jaccard`;
+/// unmatched earlier communities die, unmatched later ones are born.
+std::vector<CommunityEvent> match_communities(
+    const std::vector<NodeSet>& before, const std::vector<NodeSet>& after,
+    double min_jaccard = 0.3);
+
+/// Full tracking run: T snapshots of k-clique communities at order k.
+struct TemporalSummary {
+  std::size_t steps = 0;
+  std::size_t survivals = 0;
+  std::size_t births = 0;
+  std::size_t deaths = 0;
+  double mean_survivor_jaccard = 0.0;
+  /// Per-step community counts (size steps + 1).
+  std::vector<std::size_t> community_counts;
+};
+
+TemporalSummary track_communities(const Graph& initial, std::size_t k,
+                                  std::size_t steps,
+                                  const ChurnParams& params,
+                                  std::uint64_t seed);
+
+}  // namespace kcc

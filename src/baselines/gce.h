@@ -1,0 +1,36 @@
+// Greedy Clique Expansion baseline (Lee, Reid, McDaid, Hurley 2010).
+//
+// The paper declines GCE for AS-level analysis because its local fitness
+// function F(S) = k_in / (k_in + k_out)^alpha rewards subgraphs with more
+// internal than external links — which Tier-1-style communities (dense core,
+// enormous customer cone) never satisfy. We implement GCE so that the
+// sec_1_baseline_comparison harness can demonstrate exactly that failure.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace kcc {
+
+struct GceOptions {
+  std::size_t min_clique_size = 4;   // seed threshold (GCE default)
+  double alpha = 1.0;                // fitness exponent
+  double overlap_discard = 0.25;     // discard seed communities whose
+                                     // near-duplicate distance is below this
+  std::size_t max_seeds = 0;         // 0 = no cap
+  std::size_t max_community_size = 0;  // stop expanding beyond this (0 = off)
+};
+
+/// Community fitness F(S) = k_in / (k_in + k_out)^alpha, where k_in counts
+/// twice each internal edge and k_out the boundary edges.
+double gce_fitness(const Graph& g, const NodeSet& members, double alpha);
+
+/// Runs GCE: maximal-clique seeds, greedy expansion while fitness improves,
+/// near-duplicate elimination. Returns sorted communities (lexicographic).
+std::vector<NodeSet> greedy_clique_expansion(const Graph& g,
+                                             const GceOptions& options = {});
+
+}  // namespace kcc

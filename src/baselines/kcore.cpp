@@ -1,0 +1,46 @@
+#include "baselines/kcore.h"
+
+#include <algorithm>
+
+#include "graph/degeneracy.h"
+#include "graph/graph_algorithms.h"
+#include "graph/subgraph.h"
+
+namespace kcc {
+
+NodeSet KCoreDecomposition::core_nodes(std::uint32_t k) const {
+  NodeSet out;
+  for (NodeId v = 0; v < core_number.size(); ++v) {
+    if (core_number[v] >= k) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::size_t> KCoreDecomposition::shell_sizes() const {
+  std::vector<std::size_t> out(max_core + 1, 0);
+  for (auto c : core_number) ++out[c];
+  return out;
+}
+
+KCoreDecomposition kcore_decomposition(const Graph& g) {
+  const DegeneracyResult deg = degeneracy_order(g);
+  KCoreDecomposition result;
+  result.core_number = deg.core_number;
+  result.max_core = deg.degeneracy;
+  return result;
+}
+
+std::vector<NodeSet> kcore_components(const Graph& g, std::uint32_t k) {
+  const KCoreDecomposition decomposition = kcore_decomposition(g);
+  const NodeSet members = decomposition.core_nodes(k);
+  const InducedSubgraph sub = induced_subgraph(g, members);
+  const ComponentLabeling labels = connected_components(sub.graph);
+  std::vector<NodeSet> components(labels.count);
+  for (NodeId v = 0; v < sub.graph.num_nodes(); ++v) {
+    components[labels.component_of[v]].push_back(sub.to_parent[v]);
+  }
+  std::sort(components.begin(), components.end());
+  return components;
+}
+
+}  // namespace kcc

@@ -1,0 +1,36 @@
+// k-core decomposition baseline (Seidman 1983; Batagelj–Zaversnik peeling).
+//
+// The paper's related work (Sec. 1) contrasts k-clique *covers* with
+// partition-style structure such as k-cores; this module provides that
+// comparator. The k-core is the maximal subgraph in which every node has
+// degree >= k inside the subgraph; cores are nested and partition-like
+// (every node has one core number).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace kcc {
+
+struct KCoreDecomposition {
+  std::vector<std::uint32_t> core_number;  // per node
+  std::uint32_t max_core = 0;
+
+  /// Sorted node set of the k-core (nodes with core number >= k).
+  NodeSet core_nodes(std::uint32_t k) const;
+
+  /// Number of nodes in each shell (core_number == k exactly).
+  std::vector<std::size_t> shell_sizes() const;
+};
+
+KCoreDecomposition kcore_decomposition(const Graph& g);
+
+/// Connected components of the k-core, as sorted node sets (deterministic
+/// order by smallest member). These are the "k-core communities" used by
+/// partition-style AS studies.
+std::vector<NodeSet> kcore_components(const Graph& g, std::uint32_t k);
+
+}  // namespace kcc

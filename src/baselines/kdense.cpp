@@ -1,0 +1,119 @@
+#include "baselines/kdense.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/set_ops.h"
+#include "common/union_find.h"
+#include "graph/graph.h"
+
+namespace kcc {
+namespace {
+
+// Iteratively removes edges with fewer than `threshold` common neighbours in
+// the surviving subgraph. `alive` flags edges; adjacency is rebuilt per
+// round (simple and fast enough at library scale).
+struct Peeler {
+  const std::vector<std::pair<NodeId, NodeId>> all_edges;
+  std::size_t num_nodes;
+  std::vector<bool> alive;
+
+  Peeler(const Graph& g)
+      : all_edges(g.edges()), num_nodes(g.num_nodes()),
+        alive(all_edges.size(), true) {}
+
+  // Adjacency over alive edges (sorted).
+  std::vector<std::vector<NodeId>> adjacency() const {
+    std::vector<std::vector<NodeId>> adj(num_nodes);
+    for (std::size_t e = 0; e < all_edges.size(); ++e) {
+      if (!alive[e]) continue;
+      adj[all_edges[e].first].push_back(all_edges[e].second);
+      adj[all_edges[e].second].push_back(all_edges[e].first);
+    }
+    for (auto& list : adj) std::sort(list.begin(), list.end());
+    return adj;
+  }
+
+  // One peeling pass; returns number of removed edges.
+  std::size_t peel_once(std::uint32_t threshold) {
+    const auto adj = adjacency();
+    std::size_t removed = 0;
+    for (std::size_t e = 0; e < all_edges.size(); ++e) {
+      if (!alive[e]) continue;
+      const auto& [u, v] = all_edges[e];
+      if (intersection_size(adj[u], adj[v]) < threshold) {
+        alive[e] = false;
+        ++removed;
+      }
+    }
+    return removed;
+  }
+
+  void peel_to_fixpoint(std::uint32_t threshold) {
+    while (peel_once(threshold) > 0) {
+    }
+  }
+};
+
+}  // namespace
+
+KDenseSubgraph kdense_subgraph(const Graph& g, std::uint32_t k) {
+  require(k >= 2, "kdense_subgraph: k must be >= 2");
+  Peeler peeler(g);
+  peeler.peel_to_fixpoint(k - 2);
+
+  KDenseSubgraph out;
+  for (std::size_t e = 0; e < peeler.all_edges.size(); ++e) {
+    if (!peeler.alive[e]) continue;
+    out.edges.push_back(peeler.all_edges[e]);
+    out.nodes.push_back(peeler.all_edges[e].first);
+    out.nodes.push_back(peeler.all_edges[e].second);
+  }
+  sort_unique(out.nodes);
+  return out;
+}
+
+std::vector<NodeSet> kdense_components(const Graph& g, std::uint32_t k) {
+  const KDenseSubgraph sub = kdense_subgraph(g, k);
+  if (sub.nodes.empty()) return {};
+
+  // Union-find over the member nodes (re-labelled densely).
+  std::vector<std::uint32_t> local(g.num_nodes(),
+                                   static_cast<std::uint32_t>(-1));
+  for (std::size_t i = 0; i < sub.nodes.size(); ++i) {
+    local[sub.nodes[i]] = static_cast<std::uint32_t>(i);
+  }
+  UnionFind uf(sub.nodes.size());
+  for (const auto& [u, v] : sub.edges) uf.unite(local[u], local[v]);
+
+  std::vector<NodeSet> out;
+  for (const auto& group : uf.groups()) {
+    NodeSet nodes;
+    nodes.reserve(group.size());
+    for (std::uint32_t idx : group) nodes.push_back(sub.nodes[idx]);
+    out.push_back(std::move(nodes));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::uint32_t> edge_denseness(const Graph& g) {
+  const auto edges = g.edges();
+  std::vector<std::uint32_t> denseness(edges.size(), 0);
+  Peeler peeler(g);
+  std::uint32_t k = 2;
+  std::size_t alive_count = edges.size();
+  while (alive_count > 0) {
+    // Mark all currently-alive edges as surviving k-dense.
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      if (peeler.alive[e]) denseness[e] = k;
+    }
+    ++k;
+    peeler.peel_to_fixpoint(k - 2);
+    alive_count = static_cast<std::size_t>(
+        std::count(peeler.alive.begin(), peeler.alive.end(), true));
+  }
+  return denseness;
+}
+
+}  // namespace kcc

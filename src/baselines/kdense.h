@@ -1,0 +1,33 @@
+// k-dense decomposition baseline (Saito, Yamada, Kazama 2008).
+//
+// The k-dense subgraph is the maximal subgraph where every remaining edge
+// (u, v) has at least k-2 common neighbours *inside the subgraph*; it sits
+// between the k-core (degree condition) and the k-clique (full-mesh
+// condition). Used by the AS-structure studies the paper builds on ([12]).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace kcc {
+
+/// Edges and nodes of the k-dense subgraph of `g` (k >= 2; k = 2 returns
+/// every non-isolated node).
+struct KDenseSubgraph {
+  NodeSet nodes;
+  std::vector<std::pair<NodeId, NodeId>> edges;  // u < v, sorted
+};
+
+KDenseSubgraph kdense_subgraph(const Graph& g, std::uint32_t k);
+
+/// Connected components of the k-dense subgraph, sorted node sets.
+std::vector<NodeSet> kdense_components(const Graph& g, std::uint32_t k);
+
+/// Per-edge denseness: the largest k such that the edge survives in the
+/// k-dense subgraph. Returned in the order of Graph::edges().
+std::vector<std::uint32_t> edge_denseness(const Graph& g);
+
+}  // namespace kcc

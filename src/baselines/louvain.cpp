@@ -1,0 +1,183 @@
+#include "baselines/louvain.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.h"
+#include "metrics/modularity.h"
+
+namespace kcc {
+namespace {
+
+// Weighted multigraph used for the aggregation levels. Self-loops carry the
+// weight of edges internal to an aggregated community.
+struct WeightedLevelGraph {
+  std::size_t n = 0;
+  // adjacency[v] = (neighbor, weight); self-loop allowed (v, w_self).
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> adjacency;
+  std::vector<double> strength;  // weighted degree incl. 2 * self-loop
+  double total_weight2 = 0.0;    // 2m (sum of strengths)
+
+  static WeightedLevelGraph from_graph(const Graph& g) {
+    WeightedLevelGraph lg;
+    lg.n = g.num_nodes();
+    lg.adjacency.resize(lg.n);
+    lg.strength.assign(lg.n, 0.0);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      for (NodeId w : g.neighbors(v)) {
+        lg.adjacency[v].push_back({w, 1.0});
+      }
+      lg.strength[v] = static_cast<double>(g.degree(v));
+      lg.total_weight2 += lg.strength[v];
+    }
+    return lg;
+  }
+};
+
+// One level of local moves; returns the labelling and whether anything
+// improved.
+bool local_moves(const WeightedLevelGraph& lg, const LouvainOptions& options,
+                 std::vector<std::uint32_t>& community_of) {
+  const double m2 = lg.total_weight2;
+  if (m2 == 0.0) return false;
+
+  // Total strength per community.
+  std::vector<double> community_strength(lg.n, 0.0);
+  for (std::uint32_t v = 0; v < lg.n; ++v) {
+    community_strength[community_of[v]] += lg.strength[v];
+  }
+
+  bool improved_any = false;
+  for (std::size_t sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    double gain_total = 0.0;
+    for (std::uint32_t v = 0; v < lg.n; ++v) {
+      const std::uint32_t current = community_of[v];
+      // Weight from v to each neighbouring community (self-loops excluded:
+      // they move with v and cancel in the gain).
+      std::map<std::uint32_t, double> to_community;
+      to_community[current];  // ensure the current community is considered
+      for (const auto& [w, weight] : lg.adjacency[v]) {
+        if (w != v) to_community[community_of[w]] += weight;
+      }
+      community_strength[current] -= lg.strength[v];
+
+      std::uint32_t best = current;
+      double best_gain = to_community[current] -
+                         community_strength[current] * lg.strength[v] / m2;
+      for (const auto& [candidate, weight] : to_community) {
+        const double gain =
+            weight - community_strength[candidate] * lg.strength[v] / m2;
+        if (gain > best_gain + 1e-12 ||
+            (gain > best_gain - 1e-12 && candidate < best)) {
+          best_gain = gain;
+          best = candidate;
+        }
+      }
+      if (best != current) {
+        gain_total +=
+            best_gain - (to_community[current] -
+                         community_strength[current] * lg.strength[v] / m2);
+        community_of[v] = best;
+        improved_any = true;
+      }
+      community_strength[community_of[v]] += lg.strength[v];
+    }
+    if (gain_total < options.min_gain * m2) break;
+  }
+  return improved_any;
+}
+
+// Aggregates communities into super-nodes.
+WeightedLevelGraph aggregate(const WeightedLevelGraph& lg,
+                             const std::vector<std::uint32_t>& community_of,
+                             std::vector<std::uint32_t>& dense_id_of) {
+  // Dense re-labelling of the surviving communities.
+  dense_id_of.assign(lg.n, 0);
+  std::map<std::uint32_t, std::uint32_t> dense;
+  for (std::uint32_t v = 0; v < lg.n; ++v) {
+    const auto [it, inserted] = dense.try_emplace(
+        community_of[v], static_cast<std::uint32_t>(dense.size()));
+    dense_id_of[v] = it->second;
+    (void)inserted;
+  }
+
+  WeightedLevelGraph next;
+  next.n = dense.size();
+  next.adjacency.resize(next.n);
+  next.strength.assign(next.n, 0.0);
+  std::map<std::pair<std::uint32_t, std::uint32_t>, double> weights;
+  for (std::uint32_t v = 0; v < lg.n; ++v) {
+    for (const auto& [w, weight] : lg.adjacency[v]) {
+      const std::uint32_t a = dense_id_of[v];
+      const std::uint32_t b = dense_id_of[w];
+      if (a <= b) {
+        // Each undirected edge appears twice in adjacency (once per
+        // endpoint) except self-loops; normalise below by summing halves.
+        weights[{a, b}] += weight / (a == b ? 1.0 : 2.0);
+      }
+    }
+  }
+  for (const auto& [key, weight] : weights) {
+    const auto [a, b] = key;
+    if (a == b) {
+      next.adjacency[a].push_back({a, weight / 2.0});
+      next.strength[a] += weight;
+    } else {
+      next.adjacency[a].push_back({b, weight});
+      next.adjacency[b].push_back({a, weight});
+      next.strength[a] += weight;
+      next.strength[b] += weight;
+    }
+  }
+  for (double s : next.strength) next.total_weight2 += s;
+  return next;
+}
+
+}  // namespace
+
+LouvainResult louvain_communities(const Graph& g,
+                                  const LouvainOptions& options) {
+  LouvainResult result;
+  result.community_of.resize(g.num_nodes());
+  for (std::uint32_t v = 0; v < g.num_nodes(); ++v) {
+    result.community_of[v] = v;
+  }
+  if (g.num_edges() == 0) {
+    result.community_count = g.num_nodes();
+    return result;
+  }
+
+  WeightedLevelGraph level = WeightedLevelGraph::from_graph(g);
+  // mapping from original node to current level node.
+  std::vector<std::uint32_t> node_of(g.num_nodes());
+  for (std::uint32_t v = 0; v < g.num_nodes(); ++v) node_of[v] = v;
+
+  for (std::size_t depth = 0; depth < options.max_levels; ++depth) {
+    std::vector<std::uint32_t> community_of(level.n);
+    for (std::uint32_t v = 0; v < level.n; ++v) community_of[v] = v;
+    if (!local_moves(level, options, community_of)) break;
+
+    std::vector<std::uint32_t> dense_id_of;
+    level = aggregate(level, community_of, dense_id_of);
+    for (std::uint32_t v = 0; v < g.num_nodes(); ++v) {
+      node_of[v] = dense_id_of[community_of[node_of[v]]];
+    }
+    ++result.levels;
+    if (level.n == 1) break;
+  }
+
+  result.community_of = node_of;
+  // Re-label densely by first appearance for stable output.
+  std::map<std::uint32_t, std::uint32_t> dense;
+  for (auto& c : result.community_of) {
+    const auto [it, inserted] =
+        dense.try_emplace(c, static_cast<std::uint32_t>(dense.size()));
+    c = it->second;
+    (void)inserted;
+  }
+  result.community_count = dense.size();
+  result.modularity = modularity(g, result.community_of);
+  return result;
+}
+
+}  // namespace kcc

@@ -1,0 +1,146 @@
+#include "clique/bron_kerbosch.h"
+
+#include <algorithm>
+
+#include "common/set_ops.h"
+#include "graph/degeneracy.h"
+
+namespace kcc {
+namespace {
+
+// Recursive state for one outer-vertex subproblem. P and X are sorted
+// candidate/excluded sets; R is the growing clique.
+class Expander {
+ public:
+  Expander(const Graph& g, const CliqueVisitor& visit, std::size_t min_size)
+      : g_(g), visit_(visit), min_size_(min_size) {}
+
+  NodeSet r;
+
+  void expand(NodeSet& p, NodeSet& x) {
+    if (p.empty() && x.empty()) {
+      if (r.size() >= min_size_) visit_(r);
+      return;
+    }
+    if (r.size() + p.size() < min_size_) return;  // cannot reach min_size
+
+    // Tomita pivot: u in P ∪ X maximising |N(u) ∩ P| minimises branching.
+    const NodeId pivot = choose_pivot(p, x);
+    const auto pivot_adj = g_.neighbors(pivot);
+    // Branch on P \ N(pivot). Copy because p mutates during iteration.
+    NodeSet branch;
+    std::set_difference(p.begin(), p.end(), pivot_adj.begin(), pivot_adj.end(),
+                        std::back_inserter(branch));
+    for (NodeId v : branch) {
+      const auto v_adj = g_.neighbors(v);
+      NodeSet p2, x2;
+      p2.reserve(std::min(p.size(), v_adj.size()));
+      std::set_intersection(p.begin(), p.end(), v_adj.begin(), v_adj.end(),
+                            std::back_inserter(p2));
+      std::set_intersection(x.begin(), x.end(), v_adj.begin(), v_adj.end(),
+                            std::back_inserter(x2));
+      r.push_back(v);
+      expand(p2, x2);
+      r.pop_back();
+      // Move v from P to X.
+      p.erase(std::lower_bound(p.begin(), p.end(), v));
+      x.insert(std::lower_bound(x.begin(), x.end(), v), v);
+    }
+  }
+
+ private:
+  NodeId choose_pivot(const NodeSet& p, const NodeSet& x) const {
+    NodeId best = p.empty() ? x.front() : p.front();
+    std::size_t best_score = 0;
+    bool first = true;
+    for (const NodeSet* side : {&p, &x}) {
+      for (NodeId u : *side) {
+        const auto adj = g_.neighbors(u);
+        const std::size_t score =
+            intersection_size_span(p, adj.data(), adj.size());
+        if (first || score > best_score) {
+          best = u;
+          best_score = score;
+          first = false;
+        }
+      }
+    }
+    return best;
+  }
+
+  static std::size_t intersection_size_span(const NodeSet& a, const NodeId* b,
+                                            std::size_t nb) {
+    std::size_t n = 0, i = 0, j = 0;
+    while (i < a.size() && j < nb) {
+      if (a[i] < b[j]) {
+        ++i;
+      } else if (b[j] < a[i]) {
+        ++j;
+      } else {
+        ++n;
+        ++i;
+        ++j;
+      }
+    }
+    return n;
+  }
+
+  const Graph& g_;
+  const CliqueVisitor& visit_;
+  std::size_t min_size_;
+};
+
+}  // namespace
+
+void enumerate_vertex_subproblem(const Graph& g, const DegeneracyResult& deg,
+                                 NodeId v, const CliqueVisitor& visit,
+                                 std::size_t min_size) {
+  // Split v's neighbourhood by degeneracy position: later nodes become
+  // candidates, earlier nodes are excluded (they were outer vertices before).
+  NodeSet p, x;
+  for (NodeId w : g.neighbors(v)) {
+    if (deg.position_of[w] > deg.position_of[v]) {
+      p.push_back(w);
+    } else {
+      x.push_back(w);
+    }
+  }
+  std::sort(p.begin(), p.end());
+  std::sort(x.begin(), x.end());
+  Expander e(g, visit, min_size);
+  e.r.push_back(v);
+  e.expand(p, x);
+}
+
+void for_each_maximal_clique(const Graph& g, const CliqueVisitor& visit,
+                             std::size_t min_size) {
+  const DegeneracyResult deg = degeneracy_order(g);
+  // Visit cliques sorted before reporting so downstream code can rely on the
+  // NodeSet invariant.
+  NodeSet sorted;
+  const CliqueVisitor sorted_visit = [&](const NodeSet& clique) {
+    sorted = clique;
+    std::sort(sorted.begin(), sorted.end());
+    visit(sorted);
+  };
+  for (NodeId v : deg.order) {
+    enumerate_vertex_subproblem(g, deg, v, sorted_visit, min_size);
+  }
+}
+
+std::vector<NodeSet> maximal_cliques(const Graph& g, std::size_t min_size) {
+  std::vector<NodeSet> out;
+  for_each_maximal_clique(
+      g, [&](const NodeSet& clique) { out.push_back(clique); }, min_size);
+  return out;
+}
+
+std::size_t maximum_clique_size(const Graph& g) {
+  std::size_t best = 0;
+  for_each_maximal_clique(
+      g, [&](const NodeSet& clique) { best = std::max(best, clique.size()); },
+      1);
+  return best;
+}
+
+}  // namespace kcc

@@ -1,0 +1,37 @@
+// Maximal-clique enumeration: Bron–Kerbosch with Tomita pivoting over a
+// degeneracy ordering (Eppstein–Löffler–Strash).
+//
+// This is the substrate of the Clique Percolation Method: the paper reports
+// 2,730,916 maximal cliques in its AS topology with 88 % of sizes in
+// [18:28]; all k-clique communities are derived from the maximal-clique set
+// (see cpm/cpm.h for why that is sound).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace kcc {
+
+/// Visitor invoked once per maximal clique. The referenced set is sorted and
+/// only valid for the duration of the call.
+using CliqueVisitor = std::function<void(const NodeSet&)>;
+
+/// Enumerates every maximal clique of `g` with at least `min_size` nodes.
+/// Isolated nodes are size-1 maximal cliques. The visit order is
+/// deterministic (outer loop follows the degeneracy ordering).
+void for_each_maximal_clique(const Graph& g, const CliqueVisitor& visit,
+                             std::size_t min_size = 1);
+
+/// Convenience wrapper collecting the cliques. Each clique is sorted; the
+/// list order is deterministic.
+std::vector<NodeSet> maximal_cliques(const Graph& g, std::size_t min_size = 1);
+
+/// Size of the largest clique in `g` (0 for the empty graph). Runs the
+/// enumerator with aggressive size pruning.
+std::size_t maximum_clique_size(const Graph& g);
+
+}  // namespace kcc

@@ -1,0 +1,20 @@
+// Internal: per-vertex subproblem entry point shared by the sequential and
+// parallel enumerators. Not part of the public API.
+#pragma once
+
+#include <cstddef>
+
+#include "clique/bron_kerbosch.h"
+#include "graph/degeneracy.h"
+
+namespace kcc {
+
+/// Enumerates all maximal cliques whose earliest node (in the degeneracy
+/// ordering `deg`) is `v`. Every maximal clique of the graph is produced by
+/// exactly one vertex subproblem, so subproblems can run independently.
+/// Cliques are reported unsorted (caller sorts).
+void enumerate_vertex_subproblem(const Graph& g, const DegeneracyResult& deg,
+                                 NodeId v, const CliqueVisitor& visit,
+                                 std::size_t min_size);
+
+}  // namespace kcc

@@ -1,0 +1,33 @@
+#include "clique/clique_stats.h"
+
+#include <algorithm>
+
+namespace kcc {
+
+double CliqueStats::fraction_in_range(std::size_t lo, std::size_t hi) const {
+  if (count == 0) return 0.0;
+  std::size_t in_range = 0;
+  for (std::size_t s = lo; s <= hi && s < histogram.size(); ++s) {
+    in_range += histogram[s];
+  }
+  return static_cast<double>(in_range) / static_cast<double>(count);
+}
+
+CliqueStats compute_clique_stats(const std::vector<NodeSet>& cliques) {
+  CliqueStats s;
+  s.count = cliques.size();
+  if (cliques.empty()) return s;
+  std::size_t total = 0;
+  s.min_size = cliques.front().size();
+  for (const auto& c : cliques) {
+    s.min_size = std::min(s.min_size, c.size());
+    s.max_size = std::max(s.max_size, c.size());
+    total += c.size();
+    if (c.size() >= s.histogram.size()) s.histogram.resize(c.size() + 1, 0);
+    ++s.histogram[c.size()];
+  }
+  s.mean_size = static_cast<double>(total) / static_cast<double>(s.count);
+  return s;
+}
+
+}  // namespace kcc

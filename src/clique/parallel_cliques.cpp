@@ -1,0 +1,41 @@
+#include "clique/parallel_cliques.h"
+
+#include <algorithm>
+
+#include "clique/bron_kerbosch_internal.h"
+#include "graph/degeneracy.h"
+
+namespace kcc {
+
+std::vector<NodeSet> parallel_maximal_cliques(const Graph& g, ThreadPool& pool,
+                                              std::size_t min_size) {
+  const DegeneracyResult deg = degeneracy_order(g);
+  const std::size_t n = g.num_nodes();
+  // One result slot per ordering position; tasks never share slots, so no
+  // locking is needed and the merge order is scheduling-independent.
+  std::vector<std::vector<NodeSet>> slots(n);
+
+  parallel_for(pool, n, [&](std::size_t pos) {
+    const NodeId v = deg.order[pos];
+    auto& slot = slots[pos];
+    enumerate_vertex_subproblem(
+        g, deg, v,
+        [&](const NodeSet& clique) {
+          NodeSet sorted = clique;
+          std::sort(sorted.begin(), sorted.end());
+          slot.push_back(std::move(sorted));
+        },
+        min_size);
+  });
+
+  std::size_t total = 0;
+  for (const auto& slot : slots) total += slot.size();
+  std::vector<NodeSet> out;
+  out.reserve(total);
+  for (auto& slot : slots) {
+    for (auto& clique : slot) out.push_back(std::move(clique));
+  }
+  return out;
+}
+
+}  // namespace kcc

@@ -1,0 +1,89 @@
+#include "clique/reference_enumerator.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace kcc {
+
+std::vector<NodeSet> reference_maximal_cliques(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  require(n <= 24, "reference_maximal_cliques: graph too large for oracle");
+
+  // adjacency bitmask per node (self bit set, so clique test is mask-based).
+  std::vector<std::uint32_t> adj(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    adj[v] |= 1u << v;
+    for (NodeId w : g.neighbors(v)) adj[v] |= 1u << w;
+  }
+
+  auto is_clique = [&](std::uint32_t mask) {
+    for (std::size_t v = 0; v < n; ++v) {
+      if ((mask >> v) & 1u) {
+        if ((mask & adj[v]) != mask) return false;
+      }
+    }
+    return true;
+  };
+
+  std::vector<std::uint32_t> cliques;
+  const std::uint32_t limit = n == 32 ? 0 : (1u << n);
+  for (std::uint32_t mask = 1; mask < limit; ++mask) {
+    if (!is_clique(mask)) continue;
+    // Maximal iff no node outside extends it.
+    bool maximal = true;
+    for (std::size_t v = 0; v < n && maximal; ++v) {
+      if (!((mask >> v) & 1u) && (adj[v] & mask) == mask) maximal = false;
+    }
+    if (maximal) cliques.push_back(mask);
+  }
+
+  std::vector<NodeSet> out;
+  out.reserve(cliques.size());
+  for (std::uint32_t mask : cliques) {
+    NodeSet c;
+    for (std::size_t v = 0; v < n; ++v) {
+      if ((mask >> v) & 1u) c.push_back(static_cast<NodeId>(v));
+    }
+    out.push_back(std::move(c));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+namespace {
+
+void extend_k_clique(const Graph& g, std::size_t k, NodeSet& current,
+                     const NodeSet& candidates, std::vector<NodeSet>& out) {
+  if (current.size() == k) {
+    out.push_back(current);
+    return;
+  }
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const NodeId v = candidates[i];
+    // Remaining candidates adjacent to v and after v (keeps cliques sorted
+    // and enumerated exactly once).
+    NodeSet next;
+    for (std::size_t j = i + 1; j < candidates.size(); ++j) {
+      if (g.has_edge(v, candidates[j])) next.push_back(candidates[j]);
+    }
+    if (current.size() + 1 + next.size() < k) continue;
+    current.push_back(v);
+    extend_k_clique(g, k, current, next, out);
+    current.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<NodeSet> all_k_cliques(const Graph& g, std::size_t k) {
+  require(k >= 1, "all_k_cliques: k must be >= 1");
+  std::vector<NodeSet> out;
+  NodeSet all(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) all[v] = v;
+  NodeSet current;
+  extend_k_clique(g, k, current, all, out);
+  return out;
+}
+
+}  // namespace kcc

@@ -1,0 +1,25 @@
+// Brute-force clique enumerators used as test oracles.
+//
+// These are exponential-time reference implementations restricted to small
+// graphs; unit and property tests cross-check Bron–Kerbosch and the CPM
+// engine against them.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace kcc {
+
+/// All maximal cliques by subset enumeration. Requires g.num_nodes() <= 24.
+/// Output is sorted lexicographically for stable comparison.
+std::vector<NodeSet> reference_maximal_cliques(const Graph& g);
+
+/// All k-cliques (complete subgraphs of exactly k nodes) by ordered
+/// extension. Exponential in the worst case; intended for small test graphs,
+/// and used by the reference CPM implementation.
+std::vector<NodeSet> all_k_cliques(const Graph& g, std::size_t k);
+
+}  // namespace kcc

@@ -1,0 +1,39 @@
+// Minimal command-line flag parsing for examples and experiment binaries.
+//
+// Supported forms: --name=value and bare --flag (boolean true). The
+// ambiguous "--name value" form is intentionally unsupported. Unknown flags
+// raise kcc::Error so typos fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace kcc {
+
+class CliArgs {
+ public:
+  /// Parses argv. `known_flags` lists every accepted flag name (without the
+  /// leading dashes); pass an empty list to accept anything.
+  CliArgs(int argc, const char* const* argv,
+          std::vector<std::string> known_flags = {});
+
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace kcc

@@ -1,0 +1,9 @@
+#include "common/error.h"
+
+namespace kcc {
+
+void require(bool condition, const std::string& message) {
+  if (!condition) throw Error(message);
+}
+
+}  // namespace kcc

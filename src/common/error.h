@@ -1,0 +1,20 @@
+// Library error type. All precondition violations and I/O failures raise
+// kcc::Error; internal invariants use assertions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace kcc {
+
+/// Exception thrown on invalid arguments, malformed input files, and
+/// violated API preconditions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws kcc::Error with `message` when `condition` is false.
+void require(bool condition, const std::string& message);
+
+}  // namespace kcc

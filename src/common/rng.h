@@ -1,0 +1,136 @@
+// Deterministic, seedable random number generation.
+//
+// All synthetic-data generation in the library flows through Rng so that a
+// (seed, parameters) pair fully determines the generated ecosystem. The
+// implementation is SplitMix64 for seeding and xoshiro256++ for the stream
+// (public-domain algorithms by Blackman & Vigna); we avoid std::mt19937 so
+// results are stable across standard-library implementations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+
+namespace kcc {
+
+/// Deterministic PRNG (xoshiro256++) with convenience distributions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initialises the stream from `seed` via SplitMix64 expansion.
+  void reseed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      // SplitMix64 step.
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  std::uint64_t next_below(std::uint64_t bound) {
+    require(bound > 0, "Rng::next_below: bound must be positive");
+    // Lemire's multiply-shift rejection method (unbiased).
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi) {
+    require(lo <= hi, "Rng::next_int: empty range");
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability `p` (clamped to [0,1]).
+  bool next_bool(double p) { return next_double() < p; }
+
+  /// Zipf-distributed rank in [0, n) with exponent `s` (> 0). Uses the
+  /// inverse-CDF over precomputable weights for small n, rejection otherwise.
+  std::size_t next_zipf(std::size_t n, double s) {
+    require(n > 0, "Rng::next_zipf: n must be positive");
+    // Rejection-inversion would be overkill for our n (<= a few thousand);
+    // draw by linear scan over the normalised harmonic weights.
+    double h = 0.0;
+    for (std::size_t i = 1; i <= n; ++i) h += 1.0 / std::pow(double(i), s);
+    double u = next_double() * h;
+    for (std::size_t i = 1; i <= n; ++i) {
+      u -= 1.0 / std::pow(double(i), s);
+      if (u <= 0.0) return i - 1;
+    }
+    return n - 1;
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = next_below(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Samples `count` distinct elements from `pool` (order unspecified).
+  /// `count` must not exceed pool.size().
+  template <typename T>
+  std::vector<T> sample_without_replacement(const std::vector<T>& pool,
+                                            std::size_t count) {
+    require(count <= pool.size(),
+            "Rng::sample_without_replacement: count exceeds pool size");
+    // Partial Fisher-Yates on an index copy.
+    std::vector<std::size_t> idx(pool.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    std::vector<T> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      std::size_t j = i + next_below(idx.size() - i);
+      std::swap(idx[i], idx[j]);
+      out.push_back(pool[idx[i]]);
+    }
+    return out;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace kcc

@@ -1,0 +1,116 @@
+// Set algebra over sorted duplicate-free vectors (the NodeSet invariant).
+//
+// Every clique and community node set in the library is stored sorted, which
+// lets intersection size, containment and merge run as linear scans instead
+// of hash-table lookups; this matters because clique percolation performs
+// millions of pairwise overlap queries.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace kcc {
+
+/// True when `v` is sorted ascending with no duplicates.
+template <typename T>
+bool is_sorted_unique(const std::vector<T>& v) {
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (!(v[i - 1] < v[i])) return false;
+  }
+  return true;
+}
+
+/// Sorts and deduplicates `v` in place, establishing the NodeSet invariant.
+template <typename T>
+void sort_unique(std::vector<T>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+/// |a ∩ b| for sorted unique inputs.
+template <typename T>
+std::size_t intersection_size(const std::vector<T>& a,
+                              const std::vector<T>& b) {
+  std::size_t n = 0, i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++n;
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
+/// Early-exit variant: true iff |a ∩ b| >= threshold. Prunes the scan as
+/// soon as the remaining elements cannot reach the threshold.
+template <typename T>
+bool intersection_at_least(const std::vector<T>& a, const std::vector<T>& b,
+                           std::size_t threshold) {
+  if (threshold == 0) return true;
+  std::size_t n = 0, i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a.size() - i < threshold - n || b.size() - j < threshold - n)
+      return false;
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      if (++n >= threshold) return true;
+      ++i;
+      ++j;
+    }
+  }
+  return false;
+}
+
+/// a ∩ b for sorted unique inputs.
+template <typename T>
+std::vector<T> set_intersection(const std::vector<T>& a,
+                                const std::vector<T>& b) {
+  std::vector<T> out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+/// a ∪ b for sorted unique inputs.
+template <typename T>
+std::vector<T> set_union(const std::vector<T>& a, const std::vector<T>& b) {
+  std::vector<T> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+/// a \ b for sorted unique inputs.
+template <typename T>
+std::vector<T> set_difference(const std::vector<T>& a,
+                              const std::vector<T>& b) {
+  std::vector<T> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+/// True iff `sub` ⊆ `super` for sorted unique inputs.
+template <typename T>
+bool is_subset(const std::vector<T>& sub, const std::vector<T>& super) {
+  return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
+}
+
+/// Binary-search membership test on a sorted unique vector.
+template <typename T>
+bool contains(const std::vector<T>& sorted, const T& value) {
+  return std::binary_search(sorted.begin(), sorted.end(), value);
+}
+
+}  // namespace kcc

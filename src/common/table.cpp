@@ -1,0 +1,73 @@
+#include "common/table.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace kcc {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  require(!header_.empty(), "TextTable: header must not be empty");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  require(row.size() == header_.size(),
+          "TextTable::add_row: arity mismatch with header");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::format_number(double v, bool integral) {
+  char buf[64];
+  if (integral) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4g", v);
+  }
+  return buf;
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "| " << row[c] << std::string(width[c] - row[c].size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+  emit_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << "|" << std::string(width[c] + 2, '-');
+  }
+  os << "|\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t) {
+  return os << t.to_string();
+}
+
+std::string fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string percent(double ratio, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", digits, ratio * 100.0);
+  return buf;
+}
+
+}  // namespace kcc

@@ -1,0 +1,59 @@
+// Plain-text table rendering for the experiment harness binaries.
+//
+// Every table_* / fig_* / sec_* bench prints paper-reported values next to
+// measured values through this class, so outputs are uniform and diffable.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace kcc {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats arithmetic cells with operator<<.
+  template <typename... Cells>
+  void add(const Cells&... cells) {
+    add_row({to_cell(cells)...});
+  }
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with aligned columns and a header separator.
+  std::string to_string() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+ private:
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(const char* s) { return s; }
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    return format_number(static_cast<double>(v), is_integral_value(v));
+  }
+  static bool is_integral_value(double) { return false; }
+  static bool is_integral_value(float) { return false; }
+  template <typename T>
+  static bool is_integral_value(T) {
+    return true;
+  }
+  static std::string format_number(double v, bool integral);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` fractional digits.
+std::string fixed(double v, int digits = 3);
+
+/// Formats a ratio as a percentage string, e.g. "89.2%".
+std::string percent(double ratio, int digits = 1);
+
+}  // namespace kcc

@@ -1,0 +1,60 @@
+// Fixed-size worker pool used by the Lightweight Parallel CPM and the
+// parallel maximal-clique enumerator.
+//
+// The pool is deliberately simple: a mutex-protected FIFO of type-erased
+// jobs, with wait_idle() as the only synchronisation primitive callers need.
+// Determinism of results is achieved by the *callers* (each parallel stage
+// writes to pre-allocated per-task slots and merges in task order), never by
+// relying on scheduling order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace kcc {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (0 means std::thread::hardware_concurrency,
+  /// floored at 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues a job. Jobs must not throw; exceptions escaping a job
+  /// terminate the process (matching the noexcept worker loop).
+  void submit(std::function<void()> job);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs fn(i) for i in [0, count) across `pool`, blocking until all
+/// iterations complete. Iterations are distributed in contiguous chunks to
+/// keep per-job overhead low; `fn` must be safe to call concurrently.
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace kcc

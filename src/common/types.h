@@ -1,0 +1,27 @@
+// Core scalar types shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace kcc {
+
+/// Identifier of a node (an Autonomous System) in a Graph. Node ids are
+/// dense: a Graph with N nodes uses ids [0, N).
+using NodeId = std::uint32_t;
+
+/// Identifier of an edge in a Graph, dense in [0, M).
+using EdgeId = std::uint64_t;
+
+/// Identifier of a maximal clique produced by an enumerator.
+using CliqueId = std::uint32_t;
+
+/// Identifier of a community within one CommunitySet (one value of k).
+using CommunityId = std::uint32_t;
+
+/// A set of nodes stored as a sorted, duplicate-free vector. All community
+/// and clique node sets in the library use this representation so that set
+/// algebra (intersection size, containment) runs in linear time.
+using NodeSet = std::vector<NodeId>;
+
+}  // namespace kcc

@@ -1,0 +1,107 @@
+#include "cpm/clique_index.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/set_ops.h"
+
+namespace kcc {
+
+std::vector<std::vector<CliqueId>> build_node_clique_index(
+    const std::vector<NodeSet>& cliques, std::size_t num_nodes) {
+  std::vector<std::vector<CliqueId>> index(num_nodes);
+  for (CliqueId c = 0; c < cliques.size(); ++c) {
+    for (NodeId v : cliques[c]) {
+      require(v < num_nodes, "build_node_clique_index: node out of range");
+      index[v].push_back(c);
+    }
+  }
+  return index;  // per-node lists are ascending because c increases
+}
+
+namespace {
+
+// Overlap pairs (a, b) with b fixed, discovered through b's nodes. A stamp
+// array deduplicates candidates; counting hits per candidate *is* the
+// overlap size, because clique a appears in the index list of exactly the
+// |A ∩ B| shared nodes.
+void overlaps_for_clique(const std::vector<NodeSet>& cliques,
+                         const std::vector<std::vector<CliqueId>>& index,
+                         CliqueId b, std::size_t min_overlap,
+                         std::vector<std::uint32_t>& hit_count,
+                         std::vector<CliqueId>& touched,
+                         std::vector<CliqueOverlap>& out) {
+  touched.clear();
+  for (NodeId v : cliques[b]) {
+    for (CliqueId a : index[v]) {
+      if (a >= b) break;  // index lists are ascending; only a < b wanted
+      if (hit_count[a] == 0) touched.push_back(a);
+      ++hit_count[a];
+    }
+  }
+  for (CliqueId a : touched) {
+    if (hit_count[a] >= min_overlap) {
+      out.push_back({a, b, hit_count[a]});
+    }
+    hit_count[a] = 0;
+  }
+}
+
+}  // namespace
+
+std::vector<CliqueOverlap> compute_clique_overlaps_sequential(
+    const std::vector<NodeSet>& cliques, std::size_t num_nodes,
+    std::size_t min_overlap) {
+  require(min_overlap >= 1, "compute_clique_overlaps: min_overlap must be >= 1");
+  const auto index = build_node_clique_index(cliques, num_nodes);
+  std::vector<CliqueOverlap> out;
+  std::vector<std::uint32_t> hit_count(cliques.size(), 0);
+  std::vector<CliqueId> touched;
+  for (CliqueId b = 0; b < cliques.size(); ++b) {
+    overlaps_for_clique(cliques, index, b, min_overlap, hit_count, touched, out);
+  }
+  std::sort(out.begin(), out.end(), [](const CliqueOverlap& x, const CliqueOverlap& y) {
+    return x.a != y.a ? x.a < y.a : x.b < y.b;
+  });
+  return out;
+}
+
+std::vector<CliqueOverlap> compute_clique_overlaps(
+    const std::vector<NodeSet>& cliques, std::size_t num_nodes,
+    std::size_t min_overlap, ThreadPool& pool) {
+  require(min_overlap >= 1, "compute_clique_overlaps: min_overlap must be >= 1");
+  const auto index = build_node_clique_index(cliques, num_nodes);
+
+  // Shard cliques into contiguous ranges; each task owns a result slot, so
+  // the merged output is independent of scheduling.
+  const std::size_t shards =
+      std::max<std::size_t>(1, std::min(cliques.size(), pool.thread_count() * 8));
+  const std::size_t shard_size = (cliques.size() + shards - 1) / shards;
+  std::vector<std::vector<CliqueOverlap>> slots(shards);
+
+  parallel_for(pool, shards, [&](std::size_t s) {
+    const CliqueId begin = static_cast<CliqueId>(s * shard_size);
+    const CliqueId end = static_cast<CliqueId>(
+        std::min(cliques.size(), (s + 1) * shard_size));
+    std::vector<std::uint32_t> hit_count(cliques.size(), 0);
+    std::vector<CliqueId> touched;
+    for (CliqueId b = begin; b < end; ++b) {
+      overlaps_for_clique(cliques, index, b, min_overlap, hit_count, touched,
+                          slots[s]);
+    }
+  });
+
+  std::size_t total = 0;
+  for (const auto& slot : slots) total += slot.size();
+  std::vector<CliqueOverlap> out;
+  out.reserve(total);
+  for (auto& slot : slots) {
+    out.insert(out.end(), slot.begin(), slot.end());
+  }
+  std::sort(out.begin(), out.end(), [](const CliqueOverlap& x, const CliqueOverlap& y) {
+    return x.a != y.a ? x.a < y.a : x.b < y.b;
+  });
+  return out;
+}
+
+}  // namespace kcc

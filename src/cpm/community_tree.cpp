@@ -1,0 +1,136 @@
+#include "cpm/community_tree.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace kcc {
+
+const char* band_name(Band band) {
+  switch (band) {
+    case Band::kRoot:
+      return "root";
+    case Band::kTrunk:
+      return "trunk";
+    case Band::kCrown:
+      return "crown";
+  }
+  return "?";
+}
+
+CommunityTree CommunityTree::build(const CpmResult& cpm) {
+  require(cpm.max_k >= cpm.min_k && !cpm.by_k.empty(),
+          "CommunityTree::build: CPM result covers no k");
+  CommunityTree tree;
+  tree.min_k_ = cpm.min_k;
+  tree.max_k_ = cpm.max_k;
+  tree.levels_.resize(cpm.max_k - cpm.min_k + 1);
+
+  for (std::size_t k = cpm.min_k; k <= cpm.max_k; ++k) {
+    const CommunitySet& set = cpm.at(k);
+    auto& level = tree.levels_[k - cpm.min_k];
+    level.reserve(set.count());
+    for (const Community& community : set.communities) {
+      TreeNode node;
+      node.k = k;
+      node.community_id = community.id;
+      node.size = community.size();
+      if (k > cpm.min_k) {
+        // Nesting theorem: all cliques of this community live in one
+        // (k-1)-level component; any member clique resolves the parent.
+        require(!community.clique_ids.empty(),
+                "CommunityTree::build: community without cliques");
+        const CliqueId witness = community.clique_ids.front();
+        const CommunityId parent_id =
+            cpm.at(k - 1).community_of_clique[witness];
+        require(parent_id != CommunitySet::kNoCommunity,
+                "CommunityTree::build: nesting parent missing");
+        node.parent = tree.index_of(k - 1, parent_id);
+        require(node.parent >= 0, "CommunityTree::build: parent not indexed");
+      }
+      const int index = static_cast<int>(tree.nodes_.size());
+      level.push_back(index);
+      if (node.parent >= 0) tree.nodes_[node.parent].children.push_back(index);
+      tree.nodes_.push_back(std::move(node));
+    }
+  }
+
+  // Apex: canonical first community (largest) of the top level; main chain =
+  // apex plus all ancestors.
+  const auto& top = tree.levels_.back();
+  if (!top.empty()) {
+    tree.apex_ = top.front();
+    for (int n = tree.apex_; n >= 0; n = tree.nodes_[n].parent) {
+      tree.nodes_[n].is_main = true;
+    }
+  }
+  return tree;
+}
+
+const std::vector<int>& CommunityTree::level(std::size_t k) const {
+  require(k >= min_k_ && k <= max_k_, "CommunityTree::level: k out of range");
+  return levels_[k - min_k_];
+}
+
+int CommunityTree::index_of(std::size_t k, CommunityId id) const {
+  if (k < min_k_ || k > max_k_) return -1;
+  const auto& level = levels_[k - min_k_];
+  // Levels are pushed in community-id order, so the id indexes the level.
+  if (id >= level.size()) return -1;
+  return level[id];
+}
+
+std::vector<int> CommunityTree::main_chain() const {
+  std::vector<int> chain;
+  for (int n = apex_; n >= 0; n = nodes_[n].parent) chain.push_back(n);
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+std::size_t CommunityTree::main_count() const {
+  std::size_t count = 0;
+  for (const auto& node : nodes_) count += node.is_main ? 1 : 0;
+  return count;
+}
+
+std::size_t CommunityTree::parallel_count() const {
+  return nodes_.size() - main_count();
+}
+
+std::size_t CommunityTree::branch_length_above(int node) const {
+  require(node >= 0 && node < static_cast<int>(nodes_.size()),
+          "CommunityTree::branch_length_above: bad node");
+  if (nodes_[node].is_main) return 0;
+  std::size_t length = 1;
+  int current = node;
+  // Follow the unique chain upward while it stays a single parallel child.
+  while (nodes_[current].children.size() == 1 &&
+         !nodes_[nodes_[current].children.front()].is_main) {
+    current = nodes_[current].children.front();
+    ++length;
+  }
+  return length;
+}
+
+std::vector<TreeLevelStats> tree_level_stats(const CommunityTree& tree) {
+  std::vector<TreeLevelStats> out;
+  for (std::size_t k = tree.min_k(); k <= tree.max_k(); ++k) {
+    TreeLevelStats stats;
+    stats.k = k;
+    for (int idx : tree.level(k)) {
+      const TreeNode& node = tree.nodes()[idx];
+      ++stats.community_count;
+      if (node.is_main) {
+        stats.main_size = node.size;
+      } else {
+        ++stats.parallel_count;
+        stats.largest_parallel_size =
+            std::max(stats.largest_parallel_size, node.size);
+      }
+    }
+    out.push_back(stats);
+  }
+  return out;
+}
+
+}  // namespace kcc

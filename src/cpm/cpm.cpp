@@ -1,0 +1,165 @@
+#include "cpm/cpm.h"
+
+#include <algorithm>
+
+#include "clique/parallel_cliques.h"
+#include "common/error.h"
+#include "common/set_ops.h"
+#include "common/thread_pool.h"
+#include "common/union_find.h"
+#include "cpm/clique_index.h"
+#include "graph/graph_algorithms.h"
+
+namespace kcc {
+namespace {
+
+// Orders communities by descending size, ties by smallest member node, and
+// reassigns dense ids. The order is independent of union-find internals and
+// thread scheduling, so CPM output is bit-stable across thread counts.
+void canonicalise(CommunitySet& set, std::size_t num_cliques) {
+  std::sort(set.communities.begin(), set.communities.end(),
+            [](const Community& a, const Community& b) {
+              if (a.nodes.size() != b.nodes.size())
+                return a.nodes.size() > b.nodes.size();
+              return a.nodes < b.nodes;
+            });
+  set.community_of_clique.assign(num_cliques, CommunitySet::kNoCommunity);
+  for (CommunityId id = 0; id < set.communities.size(); ++id) {
+    set.communities[id].id = id;
+    for (CliqueId c : set.communities[id].clique_ids) {
+      set.community_of_clique[c] = id;
+    }
+  }
+}
+
+// k = 2: communities are connected components with at least one edge.
+CommunitySet percolate_k2(const Graph& g, const std::vector<NodeSet>& cliques) {
+  CommunitySet set;
+  set.k = 2;
+  const ComponentLabeling labels = connected_components(g);
+  const auto sizes = labels.sizes();
+
+  // Component id -> community index (only components with >= 2 nodes).
+  std::vector<std::uint32_t> community_of_component(labels.count,
+                                                    CommunitySet::kNoCommunity);
+  for (std::uint32_t comp = 0; comp < labels.count; ++comp) {
+    if (sizes[comp] >= 2) {
+      community_of_component[comp] =
+          static_cast<std::uint32_t>(set.communities.size());
+      Community c;
+      c.k = 2;
+      set.communities.push_back(std::move(c));
+    }
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto idx = community_of_component[labels.component_of[v]];
+    if (idx != CommunitySet::kNoCommunity) {
+      set.communities[idx].nodes.push_back(v);  // ascending v => sorted
+    }
+  }
+  for (CliqueId c = 0; c < cliques.size(); ++c) {
+    const auto idx = community_of_component[labels.component_of[cliques[c][0]]];
+    require(idx != CommunitySet::kNoCommunity,
+            "percolate_k2: clique in a size-1 component");
+    set.communities[idx].clique_ids.push_back(c);  // ascending c => sorted
+  }
+  canonicalise(set, cliques.size());
+  return set;
+}
+
+// General k >= 3 percolation over the precomputed overlap pair list.
+CommunitySet percolate_k(std::size_t k, const std::vector<NodeSet>& cliques,
+                         const std::vector<CliqueOverlap>& overlaps) {
+  CommunitySet set;
+  set.k = k;
+
+  // Local re-labelling of eligible cliques (size >= k).
+  constexpr std::uint32_t kAbsent = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> local_of(cliques.size(), kAbsent);
+  std::vector<CliqueId> global_of;
+  for (CliqueId c = 0; c < cliques.size(); ++c) {
+    if (cliques[c].size() >= k) {
+      local_of[c] = static_cast<std::uint32_t>(global_of.size());
+      global_of.push_back(c);
+    }
+  }
+  if (global_of.empty()) return set;
+
+  UnionFind uf(global_of.size());
+  for (const CliqueOverlap& o : overlaps) {
+    if (o.overlap + 1 >= k && local_of[o.a] != kAbsent &&
+        local_of[o.b] != kAbsent) {
+      uf.unite(local_of[o.a], local_of[o.b]);
+    }
+  }
+
+  for (auto& group : uf.groups()) {
+    Community community;
+    community.k = k;
+    community.clique_ids.reserve(group.size());
+    for (std::uint32_t local : group) {
+      community.clique_ids.push_back(global_of[local]);
+    }
+    // group is ascending in local ids and local ids are ascending in global
+    // ids, so clique_ids is sorted.
+    for (CliqueId c : community.clique_ids) {
+      community.nodes.insert(community.nodes.end(), cliques[c].begin(),
+                             cliques[c].end());
+    }
+    sort_unique(community.nodes);
+    set.communities.push_back(std::move(community));
+  }
+  canonicalise(set, cliques.size());
+  return set;
+}
+
+}  // namespace
+
+CpmResult run_cpm_on_cliques(const Graph& g, std::vector<NodeSet> cliques,
+                             const CpmOptions& options) {
+  require(options.min_k >= 2, "run_cpm: min_k must be >= 2");
+  for (const auto& c : cliques) {
+    require(c.size() >= 2 && is_sorted_unique(c),
+            "run_cpm_on_cliques: cliques must be sorted and of size >= 2");
+  }
+
+  CpmResult result;
+  result.cliques = std::move(cliques);
+  result.min_k = options.min_k;
+
+  std::size_t max_clique = 0;
+  for (const auto& c : result.cliques) max_clique = std::max(max_clique, c.size());
+  result.max_k = options.max_k == 0 ? max_clique
+                                    : std::min(options.max_k, max_clique);
+  if (result.max_k < result.min_k) {
+    result.max_k = result.min_k - 1;  // empty range, has_k() is false for all
+    return result;
+  }
+
+  ThreadPool pool(options.threads);
+
+  // Overlap pairs are only needed for k >= 3 (threshold k-1 >= 2).
+  std::vector<CliqueOverlap> overlaps;
+  if (result.max_k >= 3) {
+    overlaps =
+        compute_clique_overlaps(result.cliques, g.num_nodes(), 2, pool);
+  }
+
+  result.by_k.resize(result.max_k - result.min_k + 1);
+  // Per-k percolations are independent: the LP-CPM parallel axis.
+  parallel_for(pool, result.by_k.size(), [&](std::size_t i) {
+    const std::size_t k = result.min_k + i;
+    result.by_k[i] = k == 2 ? percolate_k2(g, result.cliques)
+                            : percolate_k(k, result.cliques, overlaps);
+  });
+  return result;
+}
+
+CpmResult run_cpm(const Graph& g, const CpmOptions& options) {
+  require(options.min_k >= 2, "run_cpm: min_k must be >= 2");
+  ThreadPool pool(options.threads);
+  std::vector<NodeSet> cliques = parallel_maximal_cliques(g, pool, 2);
+  return run_cpm_on_cliques(g, std::move(cliques), options);
+}
+
+}  // namespace kcc

@@ -1,0 +1,40 @@
+#include "cpm/reference_cpm.h"
+
+#include <algorithm>
+
+#include "clique/reference_enumerator.h"
+#include "common/error.h"
+#include "common/set_ops.h"
+#include "common/union_find.h"
+
+namespace kcc {
+
+std::vector<NodeSet> reference_k_clique_communities(const Graph& g,
+                                                    std::size_t k) {
+  require(k >= 2, "reference_k_clique_communities: k must be >= 2");
+  const std::vector<NodeSet> kcliques = all_k_cliques(g, k);
+  if (kcliques.empty()) return {};
+
+  UnionFind uf(kcliques.size());
+  for (std::size_t i = 0; i < kcliques.size(); ++i) {
+    for (std::size_t j = i + 1; j < kcliques.size(); ++j) {
+      if (intersection_size(kcliques[i], kcliques[j]) == k - 1) {
+        uf.unite(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j));
+      }
+    }
+  }
+
+  std::vector<NodeSet> out;
+  for (const auto& group : uf.groups()) {
+    NodeSet nodes;
+    for (std::uint32_t idx : group) {
+      nodes.insert(nodes.end(), kcliques[idx].begin(), kcliques[idx].end());
+    }
+    sort_unique(nodes);
+    out.push_back(std::move(nodes));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace kcc

@@ -1,0 +1,22 @@
+// Literal-definition CPM used as a test oracle.
+//
+// Builds the C(k) graph exactly as Sec. 3 of the paper defines it: nodes are
+// the individual k-cliques, edges join k-cliques sharing k-1 nodes, and each
+// connected component's node union is a community. Exponential in general;
+// restricted to small graphs by construction.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace kcc {
+
+/// Communities of order `k` as sorted node sets, list ordered
+/// lexicographically.
+std::vector<NodeSet> reference_k_clique_communities(const Graph& g,
+                                                    std::size_t k);
+
+}  // namespace kcc

@@ -1,0 +1,54 @@
+#include "data/geography.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/set_ops.h"
+
+namespace kcc {
+
+GeoDataset::GeoDataset(std::vector<Country> countries,
+                       std::vector<std::vector<CountryId>> locations_of_node)
+    : countries_(std::move(countries)), locations_(std::move(locations_of_node)) {
+  for (auto& locs : locations_) {
+    sort_unique(locs);
+    for (CountryId c : locs) {
+      require(c < countries_.size(), "GeoDataset: location out of range");
+    }
+  }
+}
+
+const Country& GeoDataset::country(CountryId id) const {
+  require(id < countries_.size(), "GeoDataset::country: id out of range");
+  return countries_[id];
+}
+
+CountryId GeoDataset::find_country(const std::string& code) const {
+  for (CountryId id = 0; id < countries_.size(); ++id) {
+    if (countries_[id].code == code) return id;
+  }
+  throw Error("GeoDataset::find_country: no country '" + code + "'");
+}
+
+const std::vector<CountryId>& GeoDataset::locations_of(NodeId v) const {
+  if (v >= locations_.size()) return empty_;
+  return locations_[v];
+}
+
+std::size_t GeoDataset::known_node_count() const {
+  std::size_t count = 0;
+  for (const auto& locs : locations_) count += locs.empty() ? 0 : 1;
+  return count;
+}
+
+NodeSet GeoDataset::nodes_in_country(CountryId country) const {
+  require(country < countries_.size(),
+          "GeoDataset::nodes_in_country: id out of range");
+  NodeSet out;
+  for (NodeId v = 0; v < locations_.size(); ++v) {
+    if (contains(locations_[v], country)) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace kcc

@@ -1,0 +1,54 @@
+// Geographical dataset model (paper Sec. 2.3).
+//
+// Each AS maps to the set of countries where it has at least one point of
+// presence; countries map to continents. The tags of Sec. 2.4 (national /
+// continental / worldwide / unknown) derive from this.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace kcc {
+
+using CountryId = std::uint16_t;
+
+struct Country {
+  std::string code;       // e.g. "DE"
+  std::string continent;  // e.g. "EU"
+};
+
+class GeoDataset {
+ public:
+  GeoDataset() = default;
+  GeoDataset(std::vector<Country> countries,
+             std::vector<std::vector<CountryId>> locations_of_node);
+
+  std::size_t country_count() const { return countries_.size(); }
+  const Country& country(CountryId id) const;
+  const std::vector<Country>& all_countries() const { return countries_; }
+
+  /// Country id by code; throws when absent.
+  CountryId find_country(const std::string& code) const;
+
+  /// Countries where node `v` has a presence (empty = unknown AS).
+  const std::vector<CountryId>& locations_of(NodeId v) const;
+
+  /// Number of nodes with at least one known location (paper: 34,190).
+  std::size_t known_node_count() const;
+
+  /// Sorted set of nodes with a presence in `country`
+  /// (the country-induced tag set of Sec. 2.4).
+  NodeSet nodes_in_country(CountryId country) const;
+
+  std::size_t node_capacity() const { return locations_.size(); }
+
+ private:
+  std::vector<Country> countries_;
+  std::vector<std::vector<CountryId>> locations_;
+  std::vector<CountryId> empty_;
+};
+
+}  // namespace kcc

@@ -1,0 +1,61 @@
+#include "data/ixp.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/set_ops.h"
+
+namespace kcc {
+
+IxpDataset::IxpDataset(std::vector<Ixp> ixps) : ixps_(std::move(ixps)) {
+  for (const Ixp& ixp : ixps_) {
+    require(is_sorted_unique(ixp.participants),
+            "IxpDataset: participant lists must be sorted and unique");
+  }
+  rebuild_membership_index();
+}
+
+void IxpDataset::rebuild_membership_index() {
+  std::size_t max_node = 0;
+  for (const Ixp& ixp : ixps_) {
+    if (!ixp.participants.empty()) {
+      max_node = std::max<std::size_t>(max_node, ixp.participants.back() + 1);
+    }
+  }
+  membership_.assign(max_node, {});
+  for (IxpId id = 0; id < ixps_.size(); ++id) {
+    for (NodeId v : ixps_[id].participants) membership_[v].push_back(id);
+  }
+}
+
+const Ixp& IxpDataset::ixp(IxpId id) const {
+  require(id < ixps_.size(), "IxpDataset::ixp: id out of range");
+  return ixps_[id];
+}
+
+IxpId IxpDataset::find(const std::string& name) const {
+  for (IxpId id = 0; id < ixps_.size(); ++id) {
+    if (ixps_[id].name == name) return id;
+  }
+  throw Error("IxpDataset::find: no IXP named '" + name + "'");
+}
+
+NodeSet IxpDataset::on_ixp_nodes() const {
+  NodeSet out;
+  for (const Ixp& ixp : ixps_) {
+    out.insert(out.end(), ixp.participants.begin(), ixp.participants.end());
+  }
+  sort_unique(out);
+  return out;
+}
+
+bool IxpDataset::is_on_ixp(NodeId v) const {
+  return v < membership_.size() && !membership_[v].empty();
+}
+
+std::vector<IxpId> IxpDataset::ixps_of(NodeId v) const {
+  if (v >= membership_.size()) return {};
+  return membership_[v];
+}
+
+}  // namespace kcc

@@ -1,0 +1,57 @@
+// IXP dataset model (paper Sec. 2.2).
+//
+// An Internet Exchange Point is a facility where participant ASes establish
+// peering sessions. The paper's dataset lists 232 IXPs, each with a
+// geographical location and a participant AS list; IXP membership turns out
+// to explain the dense (crown/root) parts of the community tree.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace kcc {
+
+using IxpId = std::uint32_t;
+
+struct Ixp {
+  std::string name;
+  std::string country;        // ISO-like country code of the facility
+  NodeSet participants;       // sorted member node ids
+
+  std::size_t participant_count() const { return participants.size(); }
+};
+
+class IxpDataset {
+ public:
+  IxpDataset() = default;
+  explicit IxpDataset(std::vector<Ixp> ixps);
+
+  std::size_t count() const { return ixps_.size(); }
+  const Ixp& ixp(IxpId id) const;
+  const std::vector<Ixp>& all() const { return ixps_; }
+
+  /// Id of the IXP with the given name; throws when absent.
+  IxpId find(const std::string& name) const;
+
+  /// Sorted set of every node participating in at least one IXP
+  /// (the "on-IXP" tag of Sec. 2.4, Table 2.1).
+  NodeSet on_ixp_nodes() const;
+
+  /// True when `v` participates in at least one IXP.
+  bool is_on_ixp(NodeId v) const;
+
+  /// IXP ids `v` participates in (ascending).
+  std::vector<IxpId> ixps_of(NodeId v) const;
+
+ private:
+  void rebuild_membership_index();
+
+  std::vector<Ixp> ixps_;
+  std::vector<std::vector<IxpId>> membership_;  // node -> ixp ids
+};
+
+}  // namespace kcc

@@ -1,0 +1,79 @@
+#include "data/relationships.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace kcc {
+
+const char* link_type_name(LinkType type) {
+  switch (type) {
+    case LinkType::kCustomerProvider:
+      return "customer-provider";
+    case LinkType::kPeering:
+      return "peering";
+  }
+  return "?";
+}
+
+RelationshipMap::RelationshipMap(const Graph& g, std::vector<LinkType> types)
+    : edges_(g.edges()), types_(std::move(types)) {
+  require(types_.size() == edges_.size(),
+          "RelationshipMap: type count does not match edge count");
+}
+
+LinkType RelationshipMap::type(NodeId u, NodeId v) const {
+  if (u > v) std::swap(u, v);
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(),
+                                   std::make_pair(u, v));
+  require(it != edges_.end() && *it == std::make_pair(u, v),
+          "RelationshipMap::type: no such edge");
+  return types_[static_cast<std::size_t>(it - edges_.begin())];
+}
+
+std::pair<std::size_t, std::size_t> RelationshipMap::totals() const {
+  std::size_t cp = 0, peering = 0;
+  for (LinkType t : types_) {
+    (t == LinkType::kCustomerProvider ? cp : peering) += 1;
+  }
+  return {cp, peering};
+}
+
+double peering_fraction(const Graph& g, const RelationshipMap& rel,
+                        const NodeSet& community) {
+  std::size_t internal = 0, peering = 0;
+  for (NodeId v : community) {
+    require(v < g.num_nodes(), "peering_fraction: node out of range");
+    for (NodeId w : g.neighbors(v)) {
+      if (w <= v || !std::binary_search(community.begin(), community.end(), w)) {
+        continue;
+      }
+      ++internal;
+      if (rel.type(v, w) == LinkType::kPeering) ++peering;
+    }
+  }
+  if (internal == 0) return 0.0;
+  return static_cast<double>(peering) / static_cast<double>(internal);
+}
+
+std::vector<PeeringByK> peering_by_k(const Graph& g,
+                                     const RelationshipMap& rel,
+                                     const CpmResult& cpm) {
+  std::vector<PeeringByK> out;
+  for (std::size_t k = cpm.min_k; k <= cpm.max_k; ++k) {
+    PeeringByK row;
+    row.k = k;
+    const auto& communities = cpm.at(k).communities;
+    if (!communities.empty()) {
+      double sum = 0.0;
+      for (const Community& c : communities) {
+        sum += peering_fraction(g, rel, c.nodes);
+      }
+      row.mean_peering_fraction = sum / double(communities.size());
+    }
+    out.push_back(row);
+  }
+  return out;
+}
+
+}  // namespace kcc

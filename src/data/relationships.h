@@ -1,0 +1,63 @@
+// AS business relationships per link.
+//
+// The paper treats the topology as undirected (Sec. 2.1), but its economic
+// interpretation leans on the customer-provider vs settlement-free-peering
+// distinction throughout (Tier-1 mesh, customer cones driving ODF, IXP
+// peering fabrics creating the crown). The synthetic generator knows which
+// mechanism created each link, so it can annotate them; this module stores
+// and analyses those annotations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "cpm/community.h"
+#include "graph/graph.h"
+
+namespace kcc {
+
+enum class LinkType : std::uint8_t {
+  kCustomerProvider,  // hierarchy: one side pays the other for transit
+  kPeering,           // settlement-free: IXP fabric, Tier-1 mesh, planted
+                      // dense structures
+};
+
+const char* link_type_name(LinkType type);
+
+/// Immutable link-type table keyed by the graph's canonical edge order.
+class RelationshipMap {
+ public:
+  RelationshipMap() = default;
+
+  /// `types` aligned with g.edges().
+  RelationshipMap(const Graph& g, std::vector<LinkType> types);
+
+  LinkType type(NodeId u, NodeId v) const;
+  std::size_t edge_count() const { return types_.size(); }
+
+  /// Count of each type over the whole graph: {customer-provider, peering}.
+  std::pair<std::size_t, std::size_t> totals() const;
+
+ private:
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+  std::vector<LinkType> types_;
+};
+
+/// Fraction of a community's *internal* links that are peering links.
+/// The paper's crown communities should be almost pure peering fabric,
+/// while the low-k main community mixes in customer-provider edges.
+double peering_fraction(const Graph& g, const RelationshipMap& rel,
+                        const NodeSet& community);
+
+/// Per-k series of the mean peering fraction over communities.
+struct PeeringByK {
+  std::size_t k = 0;
+  double mean_peering_fraction = 0.0;
+};
+
+std::vector<PeeringByK> peering_by_k(const Graph& g,
+                                     const RelationshipMap& rel,
+                                     const CpmResult& cpm);
+
+}  // namespace kcc

@@ -1,0 +1,151 @@
+#include "data/tag_analysis.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/set_ops.h"
+#include "data/tags.h"
+
+namespace kcc {
+
+std::optional<IxpShare> max_share_ixp(const IxpDataset& ixps,
+                                      const Community& community) {
+  std::optional<IxpShare> best;
+  for (IxpId id = 0; id < ixps.count(); ++id) {
+    const Ixp& ixp = ixps.ixp(id);
+    const std::size_t shared =
+        intersection_size(community.nodes, ixp.participants);
+    if (shared == 0) continue;
+    const bool better =
+        !best || shared > best->shared ||
+        (shared == best->shared &&
+         ixp.participant_count() > ixps.ixp(best->ixp).participant_count());
+    if (better) {
+      IxpShare share;
+      share.ixp = id;
+      share.shared = shared;
+      share.fraction =
+          static_cast<double>(shared) / static_cast<double>(community.size());
+      share.full_share = shared == community.size();
+      best = share;
+    }
+  }
+  return best;
+}
+
+std::vector<IxpId> full_share_ixps(const IxpDataset& ixps,
+                                   const Community& community) {
+  std::vector<IxpId> out;
+  for (IxpId id = 0; id < ixps.count(); ++id) {
+    if (is_subset(community.nodes, ixps.ixp(id).participants)) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+std::vector<CountryId> containing_countries(const GeoDataset& geo,
+                                            const Community& community) {
+  require(!community.nodes.empty(), "containing_countries: empty community");
+  // Intersect the location lists of all members; empty as soon as any member
+  // has no known location.
+  std::vector<CountryId> common = geo.locations_of(community.nodes.front());
+  for (std::size_t i = 1; i < community.nodes.size() && !common.empty(); ++i) {
+    common = set_intersection(common, geo.locations_of(community.nodes[i]));
+  }
+  return common;
+}
+
+std::vector<CommunityTagProfile> profile_communities(
+    const CpmResult& cpm, const CommunityTree& tree, const IxpDataset& ixps,
+    const GeoDataset& geo) {
+  std::vector<CommunityTagProfile> out;
+  for (std::size_t k = cpm.min_k; k <= cpm.max_k; ++k) {
+    const CommunitySet& set = cpm.at(k);
+    for (const Community& community : set.communities) {
+      CommunityTagProfile profile;
+      profile.k = k;
+      profile.id = community.id;
+      profile.size = community.size();
+      const int idx = tree.index_of(k, community.id);
+      profile.is_main = idx >= 0 && tree.nodes()[idx].is_main;
+      profile.on_ixp_fraction = on_ixp_fraction(ixps, community.nodes);
+      profile.max_share = max_share_ixp(ixps, community);
+      profile.full_share = full_share_ixps(ixps, community);
+      profile.containing_country = containing_countries(geo, community);
+      out.push_back(std::move(profile));
+    }
+  }
+  return out;
+}
+
+BandThresholds derive_bands(const std::vector<CommunityTagProfile>& profiles,
+                            std::size_t min_k, std::size_t max_k,
+                            const BandThresholds& fallback) {
+  if (max_k < min_k) return fallback;
+  // has_full_share[k - min_k]: any community at k with a full-share IXP.
+  std::vector<bool> has_full_share(max_k - min_k + 1, false);
+  for (const auto& p : profiles) {
+    if (!p.full_share.empty() && p.k >= min_k && p.k <= max_k) {
+      has_full_share[p.k - min_k] = true;
+    }
+  }
+  // Widest run of "false" strictly between two "true" positions.
+  std::ptrdiff_t first_true = -1, last_true = -1;
+  for (std::size_t i = 0; i < has_full_share.size(); ++i) {
+    if (has_full_share[i]) {
+      if (first_true < 0) first_true = static_cast<std::ptrdiff_t>(i);
+      last_true = static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  if (first_true < 0 || first_true == last_true) return fallback;
+
+  std::size_t best_start = 0, best_len = 0;
+  std::size_t run_start = 0, run_len = 0;
+  for (std::ptrdiff_t i = first_true; i <= last_true; ++i) {
+    if (!has_full_share[static_cast<std::size_t>(i)]) {
+      if (run_len == 0) run_start = static_cast<std::size_t>(i);
+      ++run_len;
+      if (run_len > best_len) {
+        best_len = run_len;
+        best_start = run_start;
+      }
+    } else {
+      run_len = 0;
+    }
+  }
+  if (best_len == 0) return fallback;  // no gap: cannot separate three bands
+
+  BandThresholds thresholds;
+  thresholds.root_max_k = min_k + best_start - 1;
+  thresholds.trunk_max_k = min_k + best_start + best_len - 1;
+  return thresholds;
+}
+
+std::vector<BandSummary> summarize_bands(
+    const std::vector<CommunityTagProfile>& profiles,
+    const BandThresholds& thresholds) {
+  std::vector<BandSummary> out(3);
+  out[0].band = Band::kRoot;
+  out[1].band = Band::kTrunk;
+  out[2].band = Band::kCrown;
+  std::vector<double> size_sum(3, 0.0), ixp_sum(3, 0.0);
+  for (const auto& p : profiles) {
+    const std::size_t b = static_cast<std::size_t>(thresholds.band_of(p.k));
+    BandSummary& s = out[b];
+    ++s.community_count;
+    size_sum[b] += static_cast<double>(p.size);
+    ixp_sum[b] += p.on_ixp_fraction;
+    if (!p.full_share.empty()) ++s.with_full_share_ixp;
+    if (!p.containing_country.empty()) ++s.country_contained;
+  }
+  for (std::size_t b = 0; b < 3; ++b) {
+    if (out[b].community_count > 0) {
+      out[b].mean_size = size_sum[b] / double(out[b].community_count);
+      out[b].mean_on_ixp_fraction = ixp_sum[b] / double(out[b].community_count);
+    }
+  }
+  return out;
+}
+
+}  // namespace kcc

@@ -1,0 +1,89 @@
+// Interpretation of communities through the IXP and geographical datasets
+// (paper Sec. 4, 4.1-4.3).
+//
+// Key notions:
+//  * max-share-IXP of a community — the IXP sharing the most participants
+//    with it;
+//  * full-share-IXP — an IXP whose participant list contains the whole
+//    community (the community is a subset of that IXP-induced subgraph);
+//  * country containment — all community members have a presence in one
+//    common country (the paper found 382 such root communities).
+// The distribution of full-share-IXPs over k is what motivates the
+// crown/trunk/root banding, and derive_bands() reconstructs the bands from
+// it rather than hard-coding the paper's [2:14]/[15:28]/[29:36].
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "cpm/community.h"
+#include "cpm/community_tree.h"
+#include "data/geography.h"
+#include "data/ixp.h"
+
+namespace kcc {
+
+/// Share of one community with one IXP.
+struct IxpShare {
+  IxpId ixp = 0;
+  std::size_t shared = 0;    // |community ∩ participants|
+  double fraction = 0.0;     // shared / community size
+  bool full_share = false;   // community ⊆ participants
+};
+
+/// max-share-IXP of a community; nullopt when the dataset is empty or no
+/// IXP shares a member. Ties break towards the larger IXP, then lower id.
+std::optional<IxpShare> max_share_ixp(const IxpDataset& ixps,
+                                      const Community& community);
+
+/// Every IXP that fully contains the community (ascending ids).
+std::vector<IxpId> full_share_ixps(const IxpDataset& ixps,
+                                   const Community& community);
+
+/// Countries containing every community member (ascending ids).
+std::vector<CountryId> containing_countries(const GeoDataset& geo,
+                                            const Community& community);
+
+/// Per-community tag interpretation row.
+struct CommunityTagProfile {
+  std::size_t k = 0;
+  CommunityId id = 0;
+  std::size_t size = 0;
+  bool is_main = false;
+  double on_ixp_fraction = 0.0;
+  std::optional<IxpShare> max_share;
+  std::vector<IxpId> full_share;            // may be empty
+  std::vector<CountryId> containing_country; // may be empty
+};
+
+/// Profiles every community in `cpm`, marking mains per `tree`.
+std::vector<CommunityTagProfile> profile_communities(
+    const CpmResult& cpm, const CommunityTree& tree, const IxpDataset& ixps,
+    const GeoDataset& geo);
+
+/// Derives crown/trunk/root thresholds from the full-share structure: the
+/// trunk is the widest contiguous run of k values without any full-share
+/// community, strictly between k values that have one. Falls back to
+/// `fallback` when the data has no such three-band structure.
+BandThresholds derive_bands(const std::vector<CommunityTagProfile>& profiles,
+                            std::size_t min_k, std::size_t max_k,
+                            const BandThresholds& fallback = {});
+
+/// Summary of one band (crown/trunk/root rows of Sec. 4.1-4.3).
+struct BandSummary {
+  Band band = Band::kRoot;
+  std::size_t community_count = 0;
+  double mean_size = 0.0;
+  std::size_t with_full_share_ixp = 0;
+  std::size_t country_contained = 0;
+  double mean_on_ixp_fraction = 0.0;
+};
+
+std::vector<BandSummary> summarize_bands(
+    const std::vector<CommunityTagProfile>& profiles,
+    const BandThresholds& thresholds);
+
+}  // namespace kcc

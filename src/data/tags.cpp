@@ -1,0 +1,78 @@
+#include "data/tags.h"
+
+namespace kcc {
+
+const char* geo_tag_name(GeoTag tag) {
+  switch (tag) {
+    case GeoTag::kNational:
+      return "national";
+    case GeoTag::kContinental:
+      return "continental";
+    case GeoTag::kWorldwide:
+      return "worldwide";
+    case GeoTag::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+GeoTag classify_geo(const GeoDataset& geo, NodeId v) {
+  const auto& locations = geo.locations_of(v);
+  if (locations.empty()) return GeoTag::kUnknown;
+  if (locations.size() == 1) return GeoTag::kNational;
+  const std::string& continent = geo.country(locations.front()).continent;
+  for (CountryId c : locations) {
+    if (geo.country(c).continent != continent) return GeoTag::kWorldwide;
+  }
+  return GeoTag::kContinental;
+}
+
+IxpTagCounts count_ixp_tags(const IxpDataset& ixps, std::size_t num_nodes) {
+  IxpTagCounts counts;
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    if (ixps.is_on_ixp(v)) {
+      ++counts.on_ixp;
+    } else {
+      ++counts.not_on_ixp;
+    }
+  }
+  return counts;
+}
+
+GeoTagCounts count_geo_tags(const GeoDataset& geo, std::size_t num_nodes) {
+  GeoTagCounts counts;
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    switch (classify_geo(geo, v)) {
+      case GeoTag::kNational:
+        ++counts.national;
+        break;
+      case GeoTag::kContinental:
+        ++counts.continental;
+        break;
+      case GeoTag::kWorldwide:
+        ++counts.worldwide;
+        break;
+      case GeoTag::kUnknown:
+        ++counts.unknown;
+        break;
+    }
+  }
+  return counts;
+}
+
+double on_ixp_fraction(const IxpDataset& ixps, const NodeSet& nodes) {
+  if (nodes.empty()) return 0.0;
+  std::size_t on = 0;
+  for (NodeId v : nodes) on += ixps.is_on_ixp(v) ? 1 : 0;
+  return static_cast<double>(on) / static_cast<double>(nodes.size());
+}
+
+double geo_tag_fraction(const GeoDataset& geo, const NodeSet& nodes,
+                        GeoTag tag) {
+  if (nodes.empty()) return 0.0;
+  std::size_t count = 0;
+  for (NodeId v : nodes) count += classify_geo(geo, v) == tag ? 1 : 0;
+  return static_cast<double>(count) / static_cast<double>(nodes.size());
+}
+
+}  // namespace kcc

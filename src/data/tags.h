@@ -1,0 +1,51 @@
+// Tagging (paper Sec. 2.4, Tables 2.1 and 2.2).
+//
+// IXP tag: an AS is "on-IXP" when it appears in at least one IXP participant
+// list. Geo tag: "national" when all locations are in one country,
+// "continental" when they span several countries of one continent,
+// "worldwide" when they span two or more continents, "unknown" when the AS
+// has no known location.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/types.h"
+#include "data/geography.h"
+#include "data/ixp.h"
+
+namespace kcc {
+
+enum class GeoTag { kNational, kContinental, kWorldwide, kUnknown };
+
+const char* geo_tag_name(GeoTag tag);
+
+/// Classifies node `v` from its location list.
+GeoTag classify_geo(const GeoDataset& geo, NodeId v);
+
+/// Table 2.1 counts.
+struct IxpTagCounts {
+  std::size_t on_ixp = 0;
+  std::size_t not_on_ixp = 0;
+};
+
+IxpTagCounts count_ixp_tags(const IxpDataset& ixps, std::size_t num_nodes);
+
+/// Table 2.2 counts.
+struct GeoTagCounts {
+  std::size_t national = 0;
+  std::size_t continental = 0;
+  std::size_t worldwide = 0;
+  std::size_t unknown = 0;
+};
+
+GeoTagCounts count_geo_tags(const GeoDataset& geo, std::size_t num_nodes);
+
+/// Fraction of `nodes` that are on-IXP (Sec. 4: > 90 % for k >= 16).
+double on_ixp_fraction(const IxpDataset& ixps, const NodeSet& nodes);
+
+/// Fraction of `nodes` carrying `tag`.
+double geo_tag_fraction(const GeoDataset& geo, const NodeSet& nodes,
+                        GeoTag tag);
+
+}  // namespace kcc

@@ -1,0 +1,88 @@
+#include "graph/clustering.h"
+
+#include "common/error.h"
+#include "common/set_ops.h"
+
+namespace kcc {
+
+std::vector<std::uint64_t> triangles_per_node(const Graph& g) {
+  std::vector<std::uint64_t> count(g.num_nodes(), 0);
+  // For each edge (u, v) with u < v, the common neighbours w > v close a
+  // distinct triangle; credit all three corners.
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto adj_u = g.neighbors(u);
+    for (NodeId v : adj_u) {
+      if (v <= u) continue;
+      const auto adj_v = g.neighbors(v);
+      // Merge-intersect the two sorted lists above v.
+      std::size_t i = 0, j = 0;
+      while (i < adj_u.size() && j < adj_v.size()) {
+        if (adj_u[i] < adj_v[j]) {
+          ++i;
+        } else if (adj_v[j] < adj_u[i]) {
+          ++j;
+        } else {
+          const NodeId w = adj_u[i];
+          if (w > v) {
+            ++count[u];
+            ++count[v];
+            ++count[w];
+          }
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+  return count;
+}
+
+std::uint64_t triangle_count(const Graph& g) {
+  const auto per_node = triangles_per_node(g);
+  std::uint64_t total = 0;
+  for (auto c : per_node) total += c;
+  return total / 3;
+}
+
+double local_clustering(const Graph& g, NodeId v) {
+  require(v < g.num_nodes(), "local_clustering: node out of range");
+  const std::size_t degree = g.degree(v);
+  if (degree < 2) return 0.0;
+  const auto adj = g.neighbors(v);
+  std::uint64_t links = 0;
+  for (std::size_t i = 0; i < adj.size(); ++i) {
+    for (std::size_t j = i + 1; j < adj.size(); ++j) {
+      if (g.has_edge(adj[i], adj[j])) ++links;
+    }
+  }
+  const double wedges = double(degree) * double(degree - 1) / 2.0;
+  return static_cast<double>(links) / wedges;
+}
+
+double average_clustering(const Graph& g) {
+  if (g.num_nodes() == 0) return 0.0;
+  const auto triangles = triangles_per_node(g);
+  double sum = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const std::size_t degree = g.degree(v);
+    if (degree < 2) continue;
+    const double wedges = double(degree) * double(degree - 1) / 2.0;
+    sum += static_cast<double>(triangles[v]) / wedges;
+  }
+  return sum / static_cast<double>(g.num_nodes());
+}
+
+double transitivity(const Graph& g) {
+  const auto triangles = triangles_per_node(g);
+  std::uint64_t closed = 0;  // triangle corners = closed wedges
+  double wedges = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    closed += triangles[v];
+    const double degree = static_cast<double>(g.degree(v));
+    wedges += degree * (degree - 1.0) / 2.0;
+  }
+  if (wedges == 0.0) return 0.0;
+  return static_cast<double>(closed) / wedges;
+}
+
+}  // namespace kcc

@@ -1,0 +1,34 @@
+// Triangle counting and clustering coefficients.
+//
+// Standard characterisation of the AS-level topology (high clustering in
+// the IXP-rich core is precisely what seeds k-cliques); also used to sanity
+// check the synthetic generator against real-Internet shapes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace kcc {
+
+/// Number of triangles each node participates in. Total graph triangles =
+/// sum / 3.
+std::vector<std::uint64_t> triangles_per_node(const Graph& g);
+
+/// Total number of triangles in the graph.
+std::uint64_t triangle_count(const Graph& g);
+
+/// Local clustering coefficient of `v`: triangles(v) / (deg(v) choose 2);
+/// 0 for degree < 2.
+double local_clustering(const Graph& g, NodeId v);
+
+/// Mean local clustering over all nodes (Watts-Strogatz style).
+double average_clustering(const Graph& g);
+
+/// Global transitivity: 3 * triangles / open-or-closed wedges.
+double transitivity(const Graph& g);
+
+}  // namespace kcc

@@ -1,0 +1,65 @@
+#include "graph/degeneracy.h"
+
+#include <algorithm>
+
+namespace kcc {
+
+DegeneracyResult degeneracy_order(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  DegeneracyResult result;
+  result.order.reserve(n);
+  result.position_of.assign(n, 0);
+  result.core_number.assign(n, 0);
+  if (n == 0) return result;
+
+  // Bucket queue keyed by current (residual) degree.
+  std::vector<std::uint32_t> degree(n);
+  std::size_t max_deg = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    degree[v] = static_cast<std::uint32_t>(g.degree(v));
+    max_deg = std::max<std::size_t>(max_deg, degree[v]);
+  }
+  // bucket[d] holds nodes with residual degree d; pos_in_bucket enables O(1)
+  // moves between buckets (classic Batagelj–Zaversnik layout).
+  std::vector<std::vector<NodeId>> bucket(max_deg + 1);
+  std::vector<std::uint32_t> pos_in_bucket(n);
+  for (NodeId v = 0; v < n; ++v) {
+    pos_in_bucket[v] = static_cast<std::uint32_t>(bucket[degree[v]].size());
+    bucket[degree[v]].push_back(v);
+  }
+
+  std::vector<bool> removed(n, false);
+  std::uint32_t current_core = 0;
+  std::size_t cursor = 0;  // smallest possibly-non-empty bucket
+  for (std::size_t step = 0; step < n; ++step) {
+    while (cursor <= max_deg && bucket[cursor].empty()) ++cursor;
+    // Peeling can re-add nodes to smaller buckets; rewind when needed.
+    // (We rewind eagerly on every decrement below, so cursor is exact here.)
+    const NodeId v = bucket[cursor].back();
+    bucket[cursor].pop_back();
+    removed[v] = true;
+    current_core = std::max(current_core, static_cast<std::uint32_t>(cursor));
+    result.core_number[v] = current_core;
+    result.position_of[v] = static_cast<std::uint32_t>(result.order.size());
+    result.order.push_back(v);
+
+    for (NodeId w : g.neighbors(v)) {
+      if (removed[w] || degree[w] <= cursor) continue;
+      // Move w from bucket[degree[w]] to bucket[degree[w] - 1].
+      auto& from = bucket[degree[w]];
+      const std::uint32_t pos = pos_in_bucket[w];
+      const NodeId moved = from.back();
+      from[pos] = moved;
+      pos_in_bucket[moved] = pos;
+      from.pop_back();
+      --degree[w];
+      pos_in_bucket[w] = static_cast<std::uint32_t>(bucket[degree[w]].size());
+      bucket[degree[w]].push_back(w);
+      if (degree[w] < cursor) cursor = degree[w];
+    }
+  }
+  result.degeneracy = current_core;
+  return result;
+}
+
+}  // namespace kcc

@@ -1,0 +1,33 @@
+// Degeneracy ordering and core numbers (Batagelj–Zaversnik peeling).
+//
+// Two consumers:
+//  * Bron–Kerbosch over a degeneracy ordering bounds recursion width by the
+//    degeneracy d (the enumeration runs in O(d * n * 3^(d/3)) time), which is
+//    what makes maximal-clique enumeration feasible on AS-scale graphs.
+//  * The k-core baseline (paper Sec. 1 related work, Seidman 1983) is a
+//    direct read-out of the core numbers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace kcc {
+
+struct DegeneracyResult {
+  /// Nodes in peeling order (smallest-degree-first removal).
+  std::vector<NodeId> order;
+  /// position_of[v] is v's index within `order`.
+  std::vector<std::uint32_t> position_of;
+  /// core_number[v] = largest k such that v belongs to the k-core.
+  std::vector<std::uint32_t> core_number;
+  /// Graph degeneracy = max core number (0 for edgeless graphs).
+  std::uint32_t degeneracy = 0;
+};
+
+/// O(n + m) bucket-queue peeling.
+DegeneracyResult degeneracy_order(const Graph& g);
+
+}  // namespace kcc

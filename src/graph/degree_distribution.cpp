@@ -1,0 +1,50 @@
+#include "graph/degree_distribution.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace kcc {
+
+std::vector<std::size_t> degree_histogram(const Graph& g) {
+  std::vector<std::size_t> histogram(g.max_degree() + 1, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ++histogram[g.degree(v)];
+  }
+  if (g.num_nodes() == 0) histogram.assign(1, 0);
+  return histogram;
+}
+
+std::vector<double> degree_ccdf(const Graph& g) {
+  const auto histogram = degree_histogram(g);
+  std::vector<double> ccdf(histogram.size(), 0.0);
+  if (g.num_nodes() == 0) return ccdf;
+  std::size_t at_least = g.num_nodes();
+  for (std::size_t d = 0; d < histogram.size(); ++d) {
+    ccdf[d] = static_cast<double>(at_least) /
+              static_cast<double>(g.num_nodes());
+    at_least -= histogram[d];
+  }
+  return ccdf;
+}
+
+PowerLawFit fit_power_law(const Graph& g, std::size_t x_min) {
+  require(x_min >= 1, "fit_power_law: x_min must be >= 1");
+  PowerLawFit fit;
+  fit.x_min = x_min;
+  double log_sum = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const std::size_t d = g.degree(v);
+    if (d >= x_min) {
+      ++fit.tail_size;
+      log_sum += std::log(static_cast<double>(d) /
+                          (static_cast<double>(x_min) - 0.5));
+    }
+  }
+  require(fit.tail_size >= 2 && log_sum > 0.0,
+          "fit_power_law: tail too small for a fit");
+  fit.alpha = 1.0 + static_cast<double>(fit.tail_size) / log_sum;
+  return fit;
+}
+
+}  // namespace kcc

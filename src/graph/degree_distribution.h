@@ -1,0 +1,33 @@
+// Degree distribution analysis.
+//
+// The AS-level topology's heavy-tailed degree distribution is its most
+// famous property; the generator must reproduce it (tested), and the `kcc
+// info` tool reports it. The power-law fit follows the discrete MLE of
+// Clauset-Shalizi-Newman with a fixed x_min (full KS minimisation is out of
+// scope).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kcc {
+
+/// histogram[d] = number of nodes with degree exactly d.
+std::vector<std::size_t> degree_histogram(const Graph& g);
+
+/// Complementary CDF: ccdf[d] = fraction of nodes with degree >= d.
+std::vector<double> degree_ccdf(const Graph& g);
+
+struct PowerLawFit {
+  double alpha = 0.0;      // exponent of p(d) ~ d^-alpha
+  std::size_t x_min = 1;   // smallest degree included in the fit
+  std::size_t tail_size = 0;  // nodes with degree >= x_min
+};
+
+/// Discrete MLE alpha = 1 + n / sum(ln(d / (x_min - 0.5))) over the tail.
+/// Requires at least two tail nodes with degree >= x_min >= 1.
+PowerLawFit fit_power_law(const Graph& g, std::size_t x_min = 2);
+
+}  // namespace kcc

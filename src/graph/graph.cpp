@@ -1,0 +1,47 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace kcc {
+
+Graph Graph::from_edges(std::size_t num_nodes,
+                        const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  GraphBuilder builder(num_nodes);
+  for (const auto& [u, v] : edges) builder.add_edge(u, v);
+  builder.ensure_nodes(num_nodes);
+  return builder.build();
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  if (u >= num_nodes() || v >= num_nodes() || u == v) return false;
+  if (degree(u) > degree(v)) std::swap(u, v);
+  auto adj = neighbors(u);
+  return std::binary_search(adj.begin(), adj.end(), v);
+}
+
+std::vector<std::pair<NodeId, NodeId>> Graph::edges() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(num_edges());
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (NodeId v : neighbors(u)) {
+      if (u < v) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+double Graph::density() const {
+  const double n = static_cast<double>(num_nodes());
+  if (n < 2) return 0.0;
+  return static_cast<double>(num_edges()) / (n * (n - 1.0) / 2.0);
+}
+
+std::size_t Graph::max_degree() const {
+  std::size_t best = 0;
+  for (NodeId v = 0; v < num_nodes(); ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+}  // namespace kcc

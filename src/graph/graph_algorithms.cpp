@@ -1,0 +1,107 @@
+#include "graph/graph_algorithms.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.h"
+
+namespace kcc {
+
+std::vector<std::size_t> ComponentLabeling::sizes() const {
+  std::vector<std::size_t> out(count, 0);
+  for (auto c : component_of) ++out[c];
+  return out;
+}
+
+ComponentLabeling connected_components(const Graph& g) {
+  constexpr std::uint32_t kUnlabelled = std::numeric_limits<std::uint32_t>::max();
+  ComponentLabeling result;
+  result.component_of.assign(g.num_nodes(), kUnlabelled);
+  std::vector<NodeId> frontier;
+  for (NodeId start = 0; start < g.num_nodes(); ++start) {
+    if (result.component_of[start] != kUnlabelled) continue;
+    const auto comp = static_cast<std::uint32_t>(result.count++);
+    result.component_of[start] = comp;
+    frontier.assign(1, start);
+    while (!frontier.empty()) {
+      const NodeId v = frontier.back();
+      frontier.pop_back();
+      for (NodeId w : g.neighbors(v)) {
+        if (result.component_of[w] == kUnlabelled) {
+          result.component_of[w] = comp;
+          frontier.push_back(w);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+NodeSet largest_component(const Graph& g) {
+  const ComponentLabeling labels = connected_components(g);
+  if (labels.count == 0) return {};
+  const auto sizes = labels.sizes();
+  const std::size_t best =
+      static_cast<std::size_t>(std::max_element(sizes.begin(), sizes.end()) -
+                               sizes.begin());
+  NodeSet out;
+  out.reserve(sizes[best]);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (labels.component_of[v] == best) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source) {
+  require(source < g.num_nodes(), "bfs_distances: source out of range");
+  constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> dist(g.num_nodes(), kInf);
+  std::queue<NodeId> q;
+  dist[source] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    for (NodeId w : g.neighbors(v)) {
+      if (dist[w] == kInf) {
+        dist[w] = dist[v] + 1;
+        q.push(w);
+      }
+    }
+  }
+  return dist;
+}
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats s;
+  if (g.num_nodes() == 0) return s;
+  std::vector<std::size_t> degrees(g.num_nodes());
+  std::size_t total = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    degrees[v] = g.degree(v);
+    total += degrees[v];
+  }
+  std::sort(degrees.begin(), degrees.end());
+  s.min = degrees.front();
+  s.max = degrees.back();
+  s.mean = static_cast<double>(total) / static_cast<double>(degrees.size());
+  const std::size_t mid = degrees.size() / 2;
+  s.median = degrees.size() % 2 == 1
+                 ? static_cast<double>(degrees[mid])
+                 : (static_cast<double>(degrees[mid - 1]) +
+                    static_cast<double>(degrees[mid])) /
+                       2.0;
+  return s;
+}
+
+double mean_degree(const Graph& g, const NodeSet& nodes) {
+  if (nodes.empty()) return 0.0;
+  std::size_t total = 0;
+  for (NodeId v : nodes) {
+    require(v < g.num_nodes(), "mean_degree: node out of range");
+    total += g.degree(v);
+  }
+  return static_cast<double>(total) / static_cast<double>(nodes.size());
+}
+
+}  // namespace kcc

@@ -1,0 +1,48 @@
+// Connectivity and degree statistics over Graph.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace kcc {
+
+/// Result of a connected-components labelling.
+struct ComponentLabeling {
+  std::vector<std::uint32_t> component_of;  // per node, dense ids [0, count)
+  std::size_t count = 0;
+
+  /// Sizes per component id.
+  std::vector<std::size_t> sizes() const;
+};
+
+/// Labels connected components via BFS; component ids are assigned in order
+/// of their smallest node, so the labelling is deterministic.
+ComponentLabeling connected_components(const Graph& g);
+
+/// Node set of the largest connected component (ties broken by smallest
+/// member node id). Empty for the empty graph.
+NodeSet largest_component(const Graph& g);
+
+/// BFS hop distances from `source`; unreachable nodes get
+/// std::numeric_limits<std::uint32_t>::max().
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source);
+
+/// Summary degree statistics.
+struct DegreeStats {
+  std::size_t min = 0;
+  std::size_t max = 0;
+  double mean = 0.0;
+  double median = 0.0;
+};
+
+DegreeStats degree_stats(const Graph& g);
+
+/// Mean over `nodes` of each node's degree *in g* (the paper reports the
+/// "average Internet degree" of community members this way).
+double mean_degree(const Graph& g, const NodeSet& nodes);
+
+}  // namespace kcc

@@ -1,0 +1,52 @@
+#include <algorithm>
+
+#include "common/error.h"
+#include "graph/graph.h"
+
+namespace kcc {
+
+GraphBuilder::GraphBuilder(std::size_t num_nodes) : num_nodes_(num_nodes) {}
+
+void GraphBuilder::ensure_nodes(std::size_t num_nodes) {
+  num_nodes_ = std::max(num_nodes_, num_nodes);
+}
+
+void GraphBuilder::add_edge(NodeId u, NodeId v) {
+  require(u != v, "GraphBuilder::add_edge: self-loops are not allowed");
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+  ensure_nodes(static_cast<std::size_t>(v) + 1);
+}
+
+Graph GraphBuilder::build() {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  Graph g;
+  g.offsets_.assign(num_nodes_ + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++g.offsets_[u + 1];
+    ++g.offsets_[v + 1];
+  }
+  for (std::size_t i = 1; i <= num_nodes_; ++i) g.offsets_[i] += g.offsets_[i - 1];
+
+  g.adjacency_.resize(edges_.size() * 2);
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    g.adjacency_[cursor[u]++] = v;
+    g.adjacency_[cursor[v]++] = u;
+  }
+  // Edges were processed in (u, v)-sorted order, so each node's neighbour
+  // list of larger ids is sorted, but smaller-id neighbours interleave;
+  // sort each list to establish the invariant.
+  for (std::size_t v = 0; v < num_nodes_; ++v) {
+    std::sort(g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]),
+              g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]));
+  }
+
+  num_nodes_ = 0;
+  edges_.clear();
+  return g;
+}
+
+}  // namespace kcc

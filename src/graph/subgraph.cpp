@@ -1,0 +1,72 @@
+#include "graph/subgraph.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/set_ops.h"
+
+namespace kcc {
+
+NodeSet InducedSubgraph::lift(const NodeSet& local) const {
+  NodeSet out;
+  out.reserve(local.size());
+  for (NodeId v : local) {
+    require(v < to_parent.size(), "InducedSubgraph::lift: node out of range");
+    out.push_back(to_parent[v]);
+  }
+  // to_parent is sorted, and `local` is sorted, so `out` is already sorted.
+  return out;
+}
+
+InducedSubgraph induced_subgraph(const Graph& g, const NodeSet& nodes) {
+  require(is_sorted_unique(nodes),
+          "induced_subgraph: node set must be sorted and duplicate-free");
+  InducedSubgraph sub;
+  sub.to_parent = nodes;
+
+  // parent id -> local id, only for members.
+  constexpr NodeId kAbsent = static_cast<NodeId>(-1);
+  std::vector<NodeId> local_of(g.num_nodes(), kAbsent);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    require(nodes[i] < g.num_nodes(), "induced_subgraph: node out of range");
+    local_of[nodes[i]] = static_cast<NodeId>(i);
+  }
+
+  GraphBuilder builder(nodes.size());
+  for (NodeId v : nodes) {
+    for (NodeId w : g.neighbors(v)) {
+      if (v < w && local_of[w] != kAbsent) {
+        builder.add_edge(local_of[v], local_of[w]);
+      }
+    }
+  }
+  builder.ensure_nodes(nodes.size());
+  sub.graph = builder.build();
+  return sub;
+}
+
+std::size_t induced_edge_count(const Graph& g, const NodeSet& nodes) {
+  require(is_sorted_unique(nodes),
+          "induced_edge_count: node set must be sorted and duplicate-free");
+  std::size_t count = 0;
+  for (NodeId v : nodes) {
+    require(v < g.num_nodes(), "induced_edge_count: node out of range");
+    const auto adj = g.neighbors(v);
+    // Merge-count neighbours of v that are members and larger than v.
+    std::size_t i = 0, j = 0;
+    while (i < adj.size() && j < nodes.size()) {
+      if (adj[i] < nodes[j]) {
+        ++i;
+      } else if (nodes[j] < adj[i]) {
+        ++j;
+      } else {
+        if (adj[i] > v) ++count;
+        ++i;
+        ++j;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace kcc

@@ -1,0 +1,32 @@
+// Induced subgraphs with node-id translation.
+//
+// The paper's "tag-induced subgraph" (Sec. 2.4, after Palla et al. 2008) is
+// the subgraph made of all edges whose endpoints both carry a tag — i.e. the
+// node-induced subgraph on the tagged node set. InducedSubgraph keeps the
+// mapping back to the parent graph so communities computed inside a subgraph
+// can be compared with parent-graph node sets.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace kcc {
+
+struct InducedSubgraph {
+  Graph graph;                     // nodes re-labelled to [0, nodes.size())
+  std::vector<NodeId> to_parent;   // subgraph id -> parent id (sorted)
+
+  /// Translates a subgraph-local node set back to parent ids.
+  NodeSet lift(const NodeSet& local) const;
+};
+
+/// Node-induced subgraph on `nodes` (must be sorted unique, ids valid in g).
+InducedSubgraph induced_subgraph(const Graph& g, const NodeSet& nodes);
+
+/// Number of edges of `g` with both endpoints in `nodes` (sorted unique).
+/// This is the subgraph's edge count without materialising it.
+std::size_t induced_edge_count(const Graph& g, const NodeSet& nodes);
+
+}  // namespace kcc

@@ -1,0 +1,54 @@
+#include "graph/weighted_graph.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/set_ops.h"
+
+namespace kcc {
+
+EdgeWeights::EdgeWeights(const Graph& g, std::vector<double> weights)
+    : edges_(g.edges()), weights_(std::move(weights)) {
+  require(weights_.size() == edges_.size(),
+          "EdgeWeights: weight count does not match edge count");
+  for (double w : weights_) {
+    require(w > 0.0, "EdgeWeights: weights must be positive");
+  }
+}
+
+EdgeWeights EdgeWeights::uniform(const Graph& g) {
+  return EdgeWeights(g, std::vector<double>(g.num_edges(), 1.0));
+}
+
+double EdgeWeights::weight(NodeId u, NodeId v) const {
+  if (u > v) std::swap(u, v);
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(),
+                                   std::make_pair(u, v));
+  require(it != edges_.end() && *it == std::make_pair(u, v),
+          "EdgeWeights::weight: no such edge");
+  return weights_[static_cast<std::size_t>(it - edges_.begin())];
+}
+
+double EdgeWeights::min_weight() const {
+  require(!weights_.empty(), "EdgeWeights::min_weight: no edges");
+  return *std::min_element(weights_.begin(), weights_.end());
+}
+
+double EdgeWeights::max_weight() const {
+  require(!weights_.empty(), "EdgeWeights::max_weight: no edges");
+  return *std::max_element(weights_.begin(), weights_.end());
+}
+
+EdgeWeights weights_from_ixps(const Graph& g, const IxpDataset& ixps) {
+  const auto edges = g.edges();
+  std::vector<double> weights;
+  weights.reserve(edges.size());
+  for (const auto& [u, v] : edges) {
+    const auto iu = ixps.ixps_of(u);
+    const auto iv = ixps.ixps_of(v);
+    weights.push_back(1.0 + double(intersection_size(iu, iv)));
+  }
+  return EdgeWeights(g, std::move(weights));
+}
+
+}  // namespace kcc

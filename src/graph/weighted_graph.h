@@ -1,0 +1,48 @@
+// Edge-weighted view over a Graph.
+//
+// The AS-level topology itself is unweighted (paper Sec. 2.1), but the
+// weighted Clique Percolation Method (Palla et al.'s CPMw, implemented in
+// cpm/weighted_cpm.h as a library extension) needs per-edge weights. For
+// the Internet use case a natural weight is peering strength — e.g. 1 plus
+// the number of IXPs shared by the endpoints (see weights_from_ixps).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+#include "data/ixp.h"
+#include "graph/graph.h"
+
+namespace kcc {
+
+/// Immutable weight table keyed by the graph's canonical edge order
+/// (Graph::edges(): (u, v) with u < v, sorted).
+class EdgeWeights {
+ public:
+  EdgeWeights() = default;
+
+  /// Builds from per-edge weights aligned with g.edges(). Weights must be
+  /// positive and the vector must match the edge count.
+  EdgeWeights(const Graph& g, std::vector<double> weights);
+
+  /// Uniform weights (all 1.0).
+  static EdgeWeights uniform(const Graph& g);
+
+  /// Weight of edge {u, v}; throws when the edge does not exist.
+  double weight(NodeId u, NodeId v) const;
+
+  std::size_t edge_count() const { return weights_.size(); }
+
+  double min_weight() const;
+  double max_weight() const;
+
+ private:
+  std::vector<std::pair<NodeId, NodeId>> edges_;  // sorted, u < v
+  std::vector<double> weights_;
+};
+
+/// Internet-flavoured weights: weight(u, v) = 1 + |IXPs shared by u and v|.
+EdgeWeights weights_from_ixps(const Graph& g, const IxpDataset& ixps);
+
+}  // namespace kcc

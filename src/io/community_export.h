@@ -1,0 +1,28 @@
+// Community membership export.
+//
+// Downstream users (plotting, joins against BGP data) want communities as a
+// flat table. Two formats:
+//  * membership CSV — one row per (AS label, k, community id);
+//  * per-k listing — the CFinder-style "communities" text file: one line
+//    per community, "k id: label label ...".
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "cpm/community.h"
+#include "io/edge_list.h"
+
+namespace kcc {
+
+/// Writes "as,k,community" rows for every membership in `result`.
+void write_membership_csv(std::ostream& out, const CpmResult& result,
+                          const LabeledGraph& g);
+void write_membership_csv_file(const std::string& path,
+                               const CpmResult& result, const LabeledGraph& g);
+
+/// Writes the per-k community listing.
+void write_community_listing(std::ostream& out, const CpmResult& result,
+                             const LabeledGraph& g);
+
+}  // namespace kcc

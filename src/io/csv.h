@@ -1,0 +1,29 @@
+// Minimal CSV writer used by the experiment harnesses to dump series
+// (e.g. the Fig. 4.1/4.3/4.4 curves) for external plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace kcc {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with RFC-4180-style quoting where needed.
+  std::string to_string() const;
+
+  void save(const std::string& path) const;
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace kcc

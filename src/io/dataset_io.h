@@ -1,0 +1,33 @@
+// IXP and geographical dataset file I/O.
+//
+// IXP file: one IXP per line — "name country label1,label2,..." where labels
+// are external node labels (AS numbers).
+// Country file: "code continent" per line.
+// Geo file: "label code1,code2,..." per line (countries of one AS).
+// '#' comments and blank lines are allowed everywhere.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/geography.h"
+#include "data/ixp.h"
+#include "io/edge_list.h"
+
+namespace kcc {
+
+IxpDataset read_ixp_dataset(std::istream& in, const LabeledGraph& g);
+IxpDataset read_ixp_dataset_file(const std::string& path,
+                                 const LabeledGraph& g);
+void write_ixp_dataset(std::ostream& out, const IxpDataset& ixps,
+                       const LabeledGraph& g);
+
+GeoDataset read_geo_dataset(std::istream& countries_in, std::istream& geo_in,
+                            const LabeledGraph& g);
+GeoDataset read_geo_dataset_files(const std::string& countries_path,
+                                  const std::string& geo_path,
+                                  const LabeledGraph& g);
+void write_geo_dataset(std::ostream& countries_out, std::ostream& geo_out,
+                       const GeoDataset& geo, const LabeledGraph& g);
+
+}  // namespace kcc

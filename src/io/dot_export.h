@@ -1,0 +1,26 @@
+// Graphviz DOT export for the community tree (paper Fig. 4.2) and for small
+// graphs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "cpm/community_tree.h"
+#include "graph/graph.h"
+
+namespace kcc {
+
+/// Writes the community tree in the paper's Fig. 4.2 style: one node per
+/// community labelled "k<k>id<id>", main communities filled black, parallel
+/// communities unfilled. Levels with k below `min_k_shown` are skipped (the
+/// paper omits k <= 5 for readability).
+void write_tree_dot(std::ostream& out, const CommunityTree& tree,
+                    std::size_t min_k_shown = 2);
+
+void write_tree_dot_file(const std::string& path, const CommunityTree& tree,
+                         std::size_t min_k_shown = 2);
+
+/// Plain undirected graph in DOT (for small example graphs).
+void write_graph_dot(std::ostream& out, const Graph& g);
+
+}  // namespace kcc

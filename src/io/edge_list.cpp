@@ -1,0 +1,89 @@
+#include "io/edge_list.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace kcc {
+
+NodeId LabeledGraph::node_of(std::uint64_t label) const {
+  const auto it = std::lower_bound(labels.begin(), labels.end(), label);
+  require(it != labels.end() && *it == label,
+          "LabeledGraph::node_of: unknown label");
+  return static_cast<NodeId>(it - labels.begin());
+}
+
+LabeledGraph read_edge_list(std::istream& in) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> raw_edges;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::uint64_t u, v;
+    if (!(ls >> u)) continue;  // blank or comment-only line
+    require(static_cast<bool>(ls >> v),
+            "read_edge_list: malformed line " + std::to_string(line_no));
+    std::string trailing;
+    require(!(ls >> trailing),
+            "read_edge_list: trailing tokens on line " + std::to_string(line_no));
+    if (u == v) continue;  // spurious self-loop: drop
+    raw_edges.emplace_back(u, v);
+  }
+
+  // Dense relabelling, sorted by external label for determinism.
+  std::vector<std::uint64_t> labels;
+  labels.reserve(raw_edges.size() * 2);
+  for (const auto& [u, v] : raw_edges) {
+    labels.push_back(u);
+    labels.push_back(v);
+  }
+  std::sort(labels.begin(), labels.end());
+  labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+
+  LabeledGraph out;
+  out.labels = std::move(labels);
+  GraphBuilder builder(out.labels.size());
+  for (const auto& [u, v] : raw_edges) {
+    builder.add_edge(out.node_of(u), out.node_of(v));
+  }
+  builder.ensure_nodes(out.labels.size());
+  out.graph = builder.build();
+  return out;
+}
+
+LabeledGraph read_edge_list_file(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "read_edge_list_file: cannot open '" + path + "'");
+  return read_edge_list(in);
+}
+
+void write_edge_list(std::ostream& out, const LabeledGraph& g) {
+  require(g.labels.size() == g.graph.num_nodes(),
+          "write_edge_list: label count does not match node count");
+  for (const auto& [u, v] : g.graph.edges()) {
+    out << g.labels[u] << ' ' << g.labels[v] << '\n';
+  }
+}
+
+void write_edge_list_file(const std::string& path, const LabeledGraph& g) {
+  std::ofstream out(path);
+  require(out.good(), "write_edge_list_file: cannot open '" + path + "'");
+  write_edge_list(out, g);
+  require(out.good(), "write_edge_list_file: write failed for '" + path + "'");
+}
+
+LabeledGraph with_identity_labels(Graph g) {
+  LabeledGraph out;
+  out.labels.resize(g.num_nodes());
+  for (std::size_t i = 0; i < out.labels.size(); ++i) out.labels[i] = i;
+  out.graph = std::move(g);
+  return out;
+}
+
+}  // namespace kcc

@@ -1,0 +1,42 @@
+// Edge-list file I/O.
+//
+// Format: one edge per line, "u v", '#' starts a comment, blank lines
+// ignored. Node labels are arbitrary unsigned integers (AS numbers in the
+// paper's datasets are non-dense), remapped to dense ids on load.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kcc {
+
+/// A graph together with the original node labels (label[i] is the external
+/// id of dense node i). Labels are unique; the mapping is sorted so loading
+/// is deterministic regardless of edge order.
+struct LabeledGraph {
+  Graph graph;
+  std::vector<std::uint64_t> labels;
+
+  /// Dense id of an external label; throws when absent.
+  NodeId node_of(std::uint64_t label) const;
+};
+
+/// Parses an edge list from a stream. Self-loops and duplicates are
+/// discarded (the paper's "spurious data" cleaning). Malformed lines throw.
+LabeledGraph read_edge_list(std::istream& in);
+
+/// File convenience wrapper; throws kcc::Error when the file cannot open.
+LabeledGraph read_edge_list_file(const std::string& path);
+
+/// Writes "label_u label_v" lines, edges ordered by dense (u, v).
+void write_edge_list(std::ostream& out, const LabeledGraph& g);
+void write_edge_list_file(const std::string& path, const LabeledGraph& g);
+
+/// Wraps a dense graph with identity labels.
+LabeledGraph with_identity_labels(Graph g);
+
+}  // namespace kcc

@@ -1,0 +1,78 @@
+#include "metrics/community_metrics.h"
+
+#include "common/error.h"
+#include "common/set_ops.h"
+#include "graph/subgraph.h"
+
+namespace kcc {
+
+double link_density(const Graph& g, const NodeSet& nodes) {
+  const double n = static_cast<double>(nodes.size());
+  if (n < 2) return 0.0;
+  const double possible = n * (n - 1.0) / 2.0;
+  return static_cast<double>(induced_edge_count(g, nodes)) / possible;
+}
+
+std::size_t internal_degree(const Graph& g, NodeId v, const NodeSet& nodes) {
+  require(v < g.num_nodes(), "internal_degree: node out of range");
+  const auto adj = g.neighbors(v);
+  std::size_t count = 0, i = 0, j = 0;
+  while (i < adj.size() && j < nodes.size()) {
+    if (adj[i] < nodes[j]) {
+      ++i;
+    } else if (nodes[j] < adj[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+double internal_degree_fraction(const Graph& g, NodeId v,
+                                const NodeSet& nodes) {
+  const std::size_t total = g.degree(v);
+  if (total == 0) return 0.0;
+  return static_cast<double>(internal_degree(g, v, nodes)) /
+         static_cast<double>(total);
+}
+
+double out_degree_fraction(const Graph& g, NodeId v, const NodeSet& nodes) {
+  const std::size_t total = g.degree(v);
+  if (total == 0) return 0.0;
+  return 1.0 - internal_degree_fraction(g, v, nodes);
+}
+
+double average_odf(const Graph& g, const NodeSet& nodes) {
+  if (nodes.empty()) return 0.0;
+  double sum = 0.0;
+  for (NodeId v : nodes) sum += out_degree_fraction(g, v, nodes);
+  return sum / static_cast<double>(nodes.size());
+}
+
+double average_internal_fraction(const Graph& g, const NodeSet& nodes) {
+  if (nodes.empty()) return 0.0;
+  double sum = 0.0;
+  for (NodeId v : nodes) sum += internal_degree_fraction(g, v, nodes);
+  return sum / static_cast<double>(nodes.size());
+}
+
+std::vector<CommunityMetrics> compute_metrics(const Graph& g,
+                                              const CommunitySet& set) {
+  std::vector<CommunityMetrics> out;
+  out.reserve(set.count());
+  for (const Community& community : set.communities) {
+    CommunityMetrics m;
+    m.k = community.k;
+    m.id = community.id;
+    m.size = community.size();
+    m.density = link_density(g, community.nodes);
+    m.avg_odf = average_odf(g, community.nodes);
+    out.push_back(m);
+  }
+  return out;
+}
+
+}  // namespace kcc

@@ -1,0 +1,55 @@
+// Structural metrics the paper reports per community (Sec. 4, Fig. 4.3/4.4).
+//
+// * size — number of member ASes.
+// * link density (Lancichinetti et al. [17]) — fraction of present edges
+//   among community members over the full-mesh count.
+// * ODF — the paper follows Leskovec et al. [20]: a node's Out Degree
+//   Fraction is the share of its total degree that leaves the community.
+//   (The TR's prose inverts the wording, but Fig. 4.4(b)'s discussion —
+//   near-clique crown communities having *high* ODF because of their many
+//   external customer links — only matches the out/total reading, which we
+//   implement. internal_degree_fraction() is also provided.)
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+#include "cpm/community.h"
+#include "graph/graph.h"
+
+namespace kcc {
+
+/// Edge-density of the induced subgraph on `nodes`: |E(S)| / (|S| choose 2).
+/// Returns 0 for |S| < 2.
+double link_density(const Graph& g, const NodeSet& nodes);
+
+/// Degree of `v` counted only towards members of `nodes` (sorted unique).
+std::size_t internal_degree(const Graph& g, NodeId v, const NodeSet& nodes);
+
+/// Fraction of v's total degree that stays inside `nodes`. Nodes with
+/// degree 0 report 0.
+double internal_degree_fraction(const Graph& g, NodeId v, const NodeSet& nodes);
+
+/// Out Degree Fraction of `v` w.r.t. `nodes`: 1 - internal fraction.
+double out_degree_fraction(const Graph& g, NodeId v, const NodeSet& nodes);
+
+/// Mean ODF over the members of `nodes` (paper's "average ODF").
+double average_odf(const Graph& g, const NodeSet& nodes);
+
+/// Mean internal-degree fraction over members.
+double average_internal_fraction(const Graph& g, const NodeSet& nodes);
+
+/// Per-community metric bundle for one CommunitySet.
+struct CommunityMetrics {
+  std::size_t k = 0;
+  CommunityId id = 0;
+  std::size_t size = 0;
+  double density = 0.0;
+  double avg_odf = 0.0;
+};
+
+std::vector<CommunityMetrics> compute_metrics(const Graph& g,
+                                              const CommunitySet& set);
+
+}  // namespace kcc

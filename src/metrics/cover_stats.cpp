@@ -1,0 +1,86 @@
+#include "metrics/cover_stats.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/set_ops.h"
+
+namespace kcc {
+
+CoverStats compute_cover_stats(const CommunitySet& set,
+                               std::size_t num_nodes) {
+  CoverStats stats;
+  stats.k = set.k;
+  stats.community_count = set.count();
+
+  // Membership counts per node.
+  std::vector<std::uint32_t> membership(num_nodes, 0);
+  for (const Community& c : set.communities) {
+    for (NodeId v : c.nodes) {
+      require(v < num_nodes, "compute_cover_stats: node out of range");
+      ++membership[v];
+    }
+    if (c.size() >= stats.size_histogram.size()) {
+      stats.size_histogram.resize(c.size() + 1, 0);
+    }
+    ++stats.size_histogram[c.size()];
+  }
+  std::size_t membership_total = 0;
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    const std::uint32_t m = membership[v];
+    if (m == 0) continue;
+    ++stats.covered_nodes;
+    membership_total += m;
+    stats.max_membership = std::max<std::size_t>(stats.max_membership, m);
+    if (m >= stats.membership_histogram.size()) {
+      stats.membership_histogram.resize(m + 1, 0);
+    }
+    ++stats.membership_histogram[m];
+  }
+  if (stats.covered_nodes > 0) {
+    stats.mean_membership =
+        static_cast<double>(membership_total) /
+        static_cast<double>(stats.covered_nodes);
+  }
+
+  // Pairwise overlaps.
+  stats.community_degree.assign(set.count(), 0);
+  for (std::size_t a = 0; a < set.count(); ++a) {
+    for (std::size_t b = a + 1; b < set.count(); ++b) {
+      const std::size_t shared = intersection_size(
+          set.communities[a].nodes, set.communities[b].nodes);
+      if (shared == 0) continue;
+      ++stats.overlapping_pairs;
+      ++stats.community_degree[a];
+      ++stats.community_degree[b];
+      if (shared >= stats.overlap_size_histogram.size()) {
+        stats.overlap_size_histogram.resize(shared + 1, 0);
+      }
+      ++stats.overlap_size_histogram[shared];
+    }
+  }
+  if (!stats.community_degree.empty()) {
+    std::size_t total = 0;
+    for (std::size_t d : stats.community_degree) total += d;
+    stats.mean_community_degree =
+        static_cast<double>(total) /
+        static_cast<double>(stats.community_degree.size());
+  }
+  return stats;
+}
+
+double cover_fraction(const CommunitySet& set, std::size_t num_nodes) {
+  if (num_nodes == 0) return 0.0;
+  std::vector<bool> covered(num_nodes, false);
+  for (const Community& c : set.communities) {
+    for (NodeId v : c.nodes) {
+      require(v < num_nodes, "cover_fraction: node out of range");
+      covered[v] = true;
+    }
+  }
+  const auto count = static_cast<std::size_t>(
+      std::count(covered.begin(), covered.end(), true));
+  return static_cast<double>(count) / static_cast<double>(num_nodes);
+}
+
+}  // namespace kcc

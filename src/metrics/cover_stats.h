@@ -1,0 +1,55 @@
+// Cover-level statistics of a k-clique community set (CFinder-style).
+//
+// Palla et al. characterise a cover by four distributions; we compute them
+// per k so the Internet analysis can compare against the universal shapes
+// reported for CPM covers:
+//  * community size distribution;
+//  * membership number m_v — how many communities a node belongs to;
+//  * community degree — number of other communities a community overlaps;
+//  * overlap size s_ov — shared nodes between overlapping community pairs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+#include "cpm/community.h"
+
+namespace kcc {
+
+struct CoverStats {
+  std::size_t k = 0;
+  std::size_t community_count = 0;
+
+  /// Nodes covered by at least one community.
+  std::size_t covered_nodes = 0;
+
+  /// membership_histogram[m] = number of covered nodes in exactly m
+  /// communities (index 0 unused).
+  std::vector<std::size_t> membership_histogram;
+  double mean_membership = 0.0;
+  std::size_t max_membership = 0;
+
+  /// community_degree[i] = number of other communities community i shares
+  /// at least one node with.
+  std::vector<std::size_t> community_degree;
+  double mean_community_degree = 0.0;
+
+  /// overlap_size_histogram[s] = number of community pairs sharing exactly
+  /// s nodes (s >= 1).
+  std::vector<std::size_t> overlap_size_histogram;
+  std::size_t overlapping_pairs = 0;
+
+  /// size_histogram[s] = number of communities of size s.
+  std::vector<std::size_t> size_histogram;
+};
+
+/// Computes the cover statistics for one CommunitySet. `num_nodes` is the
+/// underlying graph's node count.
+CoverStats compute_cover_stats(const CommunitySet& set, std::size_t num_nodes);
+
+/// Fraction of nodes covered by at least one community of order k
+/// (the "community coverage" CFinder reports).
+double cover_fraction(const CommunitySet& set, std::size_t num_nodes);
+
+}  // namespace kcc

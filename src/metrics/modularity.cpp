@@ -1,0 +1,51 @@
+#include "metrics/modularity.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.h"
+
+namespace kcc {
+
+double modularity(const Graph& g,
+                  const std::vector<std::uint32_t>& community_of) {
+  require(community_of.size() == g.num_nodes(),
+          "modularity: labelling does not match the graph");
+  const double m2 = 2.0 * static_cast<double>(g.num_edges());
+  if (m2 == 0.0) return 0.0;
+
+  // Internal edge endpoints and total degree per community.
+  std::map<std::uint32_t, double> internal2, degree;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    degree[community_of[v]] += static_cast<double>(g.degree(v));
+    for (NodeId w : g.neighbors(v)) {
+      if (community_of[w] == community_of[v]) {
+        internal2[community_of[v]] += 1.0;  // counts each edge twice
+      }
+    }
+  }
+  double q = 0.0;
+  for (const auto& [community, d] : degree) {
+    const double e = internal2.count(community) ? internal2[community] : 0.0;
+    q += e / m2 - (d / m2) * (d / m2);
+  }
+  return q;
+}
+
+std::vector<NodeSet> partition_to_cover(
+    const std::vector<std::uint32_t>& community_of) {
+  std::map<std::uint32_t, NodeSet> by_id;
+  for (NodeId v = 0; v < community_of.size(); ++v) {
+    by_id[community_of[v]].push_back(v);
+  }
+  std::vector<NodeSet> out;
+  out.reserve(by_id.size());
+  for (auto& [id, nodes] : by_id) {
+    (void)id;
+    out.push_back(std::move(nodes));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace kcc

@@ -1,0 +1,27 @@
+// Newman-Girvan modularity of a partition.
+//
+// The paper's related work ([16] Kwak et al., [5] Blondel et al.) evaluates
+// community quality by modularity Q = Σ_c (e_c/m - (d_c/2m)²); the
+// Louvain baseline (baselines/louvain.h) maximises it. k-clique covers are
+// not partitions, so Q applies only to the partition baselines — which is
+// itself part of the paper's argument.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace kcc {
+
+/// Modularity of the partition `community_of` (one dense community id per
+/// node). Returns 0 for edgeless graphs.
+double modularity(const Graph& g, const std::vector<std::uint32_t>& community_of);
+
+/// Converts a partition labelling into sorted node sets (communities
+/// ordered by smallest member; empty ids skipped).
+std::vector<NodeSet> partition_to_cover(
+    const std::vector<std::uint32_t>& community_of);
+
+}  // namespace kcc

@@ -1,0 +1,105 @@
+#include "metrics/overlap.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/set_ops.h"
+
+namespace kcc {
+
+std::size_t community_overlap(const Community& a, const Community& b) {
+  return intersection_size(a.nodes, b.nodes);
+}
+
+double overlap_fraction(const Community& a, const Community& b) {
+  const std::size_t smaller = std::min(a.size(), b.size());
+  require(smaller > 0, "overlap_fraction: empty community");
+  return static_cast<double>(community_overlap(a, b)) /
+         static_cast<double>(smaller);
+}
+
+std::vector<CommunityId> main_ids_by_k(const CommunityTree& tree) {
+  std::vector<CommunityId> out;
+  out.reserve(tree.max_k() - tree.min_k() + 1);
+  for (std::size_t k = tree.min_k(); k <= tree.max_k(); ++k) {
+    CommunityId main_id = CommunitySet::kNoCommunity;
+    for (int idx : tree.level(k)) {
+      if (tree.nodes()[idx].is_main) {
+        main_id = tree.nodes()[idx].community_id;
+        break;
+      }
+    }
+    require(main_id != CommunitySet::kNoCommunity,
+            "main_ids_by_k: level without a main community");
+    out.push_back(main_id);
+  }
+  return out;
+}
+
+std::vector<OverlapStatsAtK> overlap_stats(
+    const CpmResult& cpm, const std::vector<CommunityId>& main_id_of_k) {
+  require(main_id_of_k.size() == cpm.by_k.size(),
+          "overlap_stats: main-id vector does not match the k range");
+  std::vector<OverlapStatsAtK> out;
+  for (std::size_t i = 0; i < cpm.by_k.size(); ++i) {
+    const CommunitySet& set = cpm.by_k[i];
+    OverlapStatsAtK stats;
+    stats.k = set.k;
+    const Community& main = set.communities.at(main_id_of_k[i]);
+
+    std::vector<const Community*> parallel;
+    for (const Community& c : set.communities) {
+      if (c.id != main.id) parallel.push_back(&c);
+    }
+    stats.parallel_count = parallel.size();
+
+    double sum_main = 0.0;
+    for (const Community* p : parallel) {
+      const double f = overlap_fraction(*p, main);
+      sum_main += f;
+      if (community_overlap(*p, main) == 0) ++stats.disjoint_from_main;
+    }
+    if (!parallel.empty()) {
+      stats.mean_parallel_vs_main = sum_main / double(parallel.size());
+    }
+
+    double sum_pp = 0.0;
+    for (std::size_t a = 0; a < parallel.size(); ++a) {
+      for (std::size_t b = a + 1; b < parallel.size(); ++b) {
+        const double f = overlap_fraction(*parallel[a], *parallel[b]);
+        sum_pp += f;
+        ++stats.parallel_parallel_pairs;
+        if (community_overlap(*parallel[a], *parallel[b]) == 0) {
+          ++stats.disjoint_parallel_pairs;
+        }
+      }
+    }
+    if (stats.parallel_parallel_pairs > 0) {
+      stats.mean_parallel_parallel =
+          sum_pp / double(stats.parallel_parallel_pairs);
+    }
+    out.push_back(stats);
+  }
+  return out;
+}
+
+OverlapAggregate aggregate_parallel_vs_main(
+    const std::vector<OverlapStatsAtK>& stats) {
+  OverlapAggregate agg;
+  std::vector<double> means;
+  for (const auto& s : stats) {
+    if (s.parallel_count > 0) means.push_back(s.mean_parallel_vs_main);
+  }
+  agg.k_count = means.size();
+  if (means.empty()) return agg;
+  double sum = 0.0;
+  for (double m : means) sum += m;
+  agg.mean = sum / double(means.size());
+  double var = 0.0;
+  for (double m : means) var += (m - agg.mean) * (m - agg.mean);
+  agg.variance = var / double(means.size());
+  agg.min = *std::min_element(means.begin(), means.end());
+  return agg;
+}
+
+}  // namespace kcc

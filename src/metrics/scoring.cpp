@@ -1,0 +1,47 @@
+#include "metrics/scoring.h"
+
+#include <limits>
+
+#include "common/error.h"
+#include "common/set_ops.h"
+#include "metrics/community_metrics.h"
+
+namespace kcc {
+
+CommunityScores score_community(const Graph& g, const NodeSet& community) {
+  require(is_sorted_unique(community),
+          "score_community: community must be a sorted node set");
+  CommunityScores scores;
+  scores.size = community.size();
+  if (community.empty()) return scores;
+
+  std::size_t internal2 = 0;  // twice the internal edges
+  std::size_t boundary = 0;
+  for (NodeId v : community) {
+    const std::size_t in = internal_degree(g, v, community);
+    internal2 += in;
+    boundary += g.degree(v) - in;
+  }
+  scores.internal_edges = internal2 / 2;
+  scores.boundary_edges = boundary;
+
+  if (scores.size >= 2) {
+    const double possible =
+        double(scores.size) * double(scores.size - 1) / 2.0;
+    scores.density = double(scores.internal_edges) / possible;
+  }
+  const double volume = double(internal2 + boundary);
+  scores.conductance = volume > 0.0 ? double(boundary) / volume : 0.0;
+  scores.expansion = double(boundary) / double(scores.size);
+  const std::size_t outside = g.num_nodes() - scores.size;
+  if (outside > 0) {
+    scores.cut_ratio =
+        double(boundary) / (double(scores.size) * double(outside));
+  }
+  scores.separability =
+      boundary > 0 ? double(scores.internal_edges) / double(boundary)
+                   : std::numeric_limits<double>::max();
+  return scores;
+}
+
+}  // namespace kcc

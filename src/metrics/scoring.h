@@ -1,0 +1,33 @@
+// Community scoring functions from Leskovec, Lang & Mahoney (WWW 2010) —
+// the paper's reference [20], which is also where its ODF definition comes
+// from. Beyond density and ODF the standard kit is:
+//  * conductance — boundary edges over total incident volume;
+//  * expansion — boundary edges per member;
+//  * cut ratio — boundary edges over all possible boundary pairs;
+//  * separability — internal vs boundary edge ratio.
+// The paper argues these internal-vs-external scores are the wrong lens for
+// Tier-1-style communities; the ext_scoring bench quantifies that claim.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace kcc {
+
+struct CommunityScores {
+  std::size_t size = 0;
+  std::size_t internal_edges = 0;
+  std::size_t boundary_edges = 0;
+  double density = 0.0;       // internal / possible
+  double conductance = 0.0;   // boundary / (2*internal + boundary)
+  double expansion = 0.0;     // boundary / size
+  double cut_ratio = 0.0;     // boundary / (size * (n - size))
+  double separability = 0.0;  // internal / boundary (inf -> large sentinel)
+};
+
+/// Computes the full score bundle for `community` (sorted node set).
+CommunityScores score_community(const Graph& g, const NodeSet& community);
+
+}  // namespace kcc

@@ -1,0 +1,110 @@
+#include "metrics/similarity.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "common/set_ops.h"
+
+namespace kcc {
+
+double jaccard_index(const NodeSet& a, const NodeSet& b) {
+  require(is_sorted_unique(a) && is_sorted_unique(b),
+          "jaccard_index: inputs must be sorted node sets");
+  if (a.empty() && b.empty()) return 1.0;
+  const std::size_t inter = intersection_size(a, b);
+  const std::size_t uni = a.size() + b.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+namespace {
+
+// pair (u, v) with u < v packed into a 64-bit key.
+std::uint64_t pair_key(NodeId u, NodeId v) {
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+// Co-membership count per node pair appearing in at least one community.
+std::unordered_map<std::uint64_t, std::uint32_t> pair_counts(
+    const std::vector<NodeSet>& cover, std::size_t num_nodes) {
+  std::unordered_map<std::uint64_t, std::uint32_t> counts;
+  for (const NodeSet& community : cover) {
+    for (std::size_t i = 0; i < community.size(); ++i) {
+      require(community[i] < num_nodes, "omega_index: node out of range");
+      for (std::size_t j = i + 1; j < community.size(); ++j) {
+        ++counts[pair_key(community[i], community[j])];
+      }
+    }
+  }
+  return counts;
+}
+
+}  // namespace
+
+double omega_index(const std::vector<NodeSet>& cover_a,
+                   const std::vector<NodeSet>& cover_b,
+                   std::size_t num_nodes) {
+  require(num_nodes >= 2, "omega_index: need at least two nodes");
+  const double total_pairs =
+      static_cast<double>(num_nodes) * double(num_nodes - 1) / 2.0;
+
+  const auto counts_a = pair_counts(cover_a, num_nodes);
+  const auto counts_b = pair_counts(cover_b, num_nodes);
+
+  // N_j per cover: number of pairs co-assigned exactly j times. j = 0 pairs
+  // are the remainder.
+  auto histogram = [&](const std::unordered_map<std::uint64_t, std::uint32_t>&
+                           counts) {
+    std::vector<double> h(1, total_pairs - double(counts.size()));
+    for (const auto& [key, c] : counts) {
+      (void)key;
+      if (c >= h.size()) h.resize(c + 1, 0.0);
+      ++h[c];
+    }
+    return h;
+  };
+  const auto ha = histogram(counts_a);
+  const auto hb = histogram(counts_b);
+
+  // Observed agreement: pairs with the same count in both covers.
+  double agree = 0.0;
+  // j = 0 agreements: pairs absent from both maps.
+  std::size_t joint_nonzero_same = 0;
+  std::size_t pairs_in_a_and_b = 0;
+  for (const auto& [key, ca] : counts_a) {
+    const auto it = counts_b.find(key);
+    if (it != counts_b.end()) {
+      ++pairs_in_a_and_b;
+      if (it->second == ca) ++joint_nonzero_same;
+    }
+  }
+  const double zero_zero = total_pairs - double(counts_a.size()) -
+                           double(counts_b.size()) +
+                           double(pairs_in_a_and_b);
+  agree = (zero_zero + double(joint_nonzero_same)) / total_pairs;
+
+  // Expected agreement under independence.
+  double expected = 0.0;
+  for (std::size_t j = 0; j < std::min(ha.size(), hb.size()); ++j) {
+    expected += (ha[j] / total_pairs) * (hb[j] / total_pairs);
+  }
+  if (expected >= 1.0) return 1.0;  // degenerate: both covers trivial
+  return (agree - expected) / (1.0 - expected);
+}
+
+std::vector<BestMatch> best_matches(const std::vector<NodeSet>& from,
+                                    const std::vector<NodeSet>& to) {
+  std::vector<BestMatch> out(from.size());
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    for (std::size_t j = 0; j < to.size(); ++j) {
+      const double score = jaccard_index(from[i], to[j]);
+      if (out[i].index < 0 || score > out[i].jaccard) {
+        out[i].index = static_cast<int>(j);
+        out[i].jaccard = score;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace kcc

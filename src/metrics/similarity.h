@@ -1,0 +1,39 @@
+// Similarity between covers and between communities.
+//
+// * Jaccard index between node sets — the standard match score used when
+//   tracking communities across snapshots (Palla et al. 2007).
+// * Omega index (Collins & Dent 1988) — chance-corrected agreement between
+//   two covers; the overlapping generalisation of the Adjusted Rand Index.
+//   Used by the baseline study to quantify how far k-core / k-dense / GCE
+//   covers sit from the CPM cover.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace kcc {
+
+/// |A ∩ B| / |A ∪ B| for sorted unique sets; 1 when both empty.
+double jaccard_index(const NodeSet& a, const NodeSet& b);
+
+/// Omega index between two covers over a universe of `num_nodes` nodes.
+/// A cover is a list of node sets (overlap allowed). Returns 1 for
+/// identical pair-co-membership structure, ~0 for chance-level agreement
+/// (can be negative).
+double omega_index(const std::vector<NodeSet>& cover_a,
+                   const std::vector<NodeSet>& cover_b,
+                   std::size_t num_nodes);
+
+/// Best-match result: for each community of `from`, the index in `to` with
+/// the highest Jaccard score (-1 when `to` is empty), with the score.
+struct BestMatch {
+  int index = -1;
+  double jaccard = 0.0;
+};
+
+std::vector<BestMatch> best_matches(const std::vector<NodeSet>& from,
+                                    const std::vector<NodeSet>& to);
+
+}  // namespace kcc

@@ -1,0 +1,119 @@
+#include "metrics/zp_roles.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "metrics/community_metrics.h"
+
+namespace kcc {
+
+const char* zp_role_name(ZpRole role) {
+  switch (role) {
+    case ZpRole::kUltraPeripheral:
+      return "ultra-peripheral";
+    case ZpRole::kPeripheral:
+      return "peripheral";
+    case ZpRole::kConnector:
+      return "connector";
+    case ZpRole::kKinless:
+      return "kinless";
+    case ZpRole::kProvincialHub:
+      return "provincial-hub";
+    case ZpRole::kConnectorHub:
+      return "connector-hub";
+    case ZpRole::kKinlessHub:
+      return "kinless-hub";
+  }
+  return "?";
+}
+
+ZpRole classify_zp(double z, double participation) {
+  if (z < 2.5) {
+    if (participation <= 0.05) return ZpRole::kUltraPeripheral;
+    if (participation <= 0.62) return ZpRole::kPeripheral;
+    if (participation <= 0.80) return ZpRole::kConnector;
+    return ZpRole::kKinless;
+  }
+  if (participation <= 0.30) return ZpRole::kProvincialHub;
+  if (participation <= 0.75) return ZpRole::kConnectorHub;
+  return ZpRole::kKinlessHub;
+}
+
+std::vector<ZpScore> zp_scores(const Graph& g, const CommunitySet& set) {
+  std::vector<ZpScore> out;
+
+  // Per-community internal-degree statistics.
+  for (const Community& community : set.communities) {
+    const std::size_t n = community.size();
+    std::vector<std::size_t> internal(n);
+    double mean = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      internal[i] = internal_degree(g, community.nodes[i], community.nodes);
+      mean += static_cast<double>(internal[i]);
+    }
+    mean /= static_cast<double>(n);
+    double variance = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = static_cast<double>(internal[i]) - mean;
+      variance += d * d;
+    }
+    variance /= static_cast<double>(n);
+    const double stddev = std::sqrt(variance);
+
+    for (std::size_t i = 0; i < n; ++i) {
+      ZpScore score;
+      score.node = community.nodes[i];
+      score.community = community.id;
+      score.z = stddev > 0.0
+                    ? (static_cast<double>(internal[i]) - mean) / stddev
+                    : 0.0;
+      out.push_back(score);
+    }
+  }
+
+  // Participation coefficient per node (computed once; copied to each of
+  // the node's membership rows).
+  std::vector<double> participation(g.num_nodes(), 0.0);
+  std::vector<bool> computed(g.num_nodes(), false);
+  for (ZpScore& score : out) {
+    if (computed[score.node]) {
+      score.participation = participation[score.node];
+      continue;
+    }
+    const NodeId v = score.node;
+    const std::size_t degree = g.degree(v);
+    double sum_sq = 0.0;
+    if (degree > 0) {
+      std::size_t assigned = 0;
+      for (const Community& community : set.communities) {
+        const std::size_t kc = internal_degree(g, v, community.nodes);
+        assigned += kc;
+        const double frac =
+            static_cast<double>(kc) / static_cast<double>(degree);
+        sum_sq += frac * frac;
+      }
+      // Links to nodes outside every community act as one pseudo-community.
+      // A link can be double-counted across overlapping communities; clamp.
+      const std::size_t outside =
+          assigned >= degree ? 0 : degree - assigned;
+      const double frac =
+          static_cast<double>(outside) / static_cast<double>(degree);
+      sum_sq += frac * frac;
+    }
+    participation[v] = degree > 0 ? 1.0 - std::min(1.0, sum_sq) : 0.0;
+    computed[v] = true;
+    score.participation = participation[v];
+  }
+  return out;
+}
+
+std::vector<std::size_t> zp_role_histogram(
+    const std::vector<ZpScore>& scores) {
+  std::vector<std::size_t> histogram(7, 0);
+  for (const ZpScore& s : scores) {
+    ++histogram[static_cast<std::size_t>(classify_zp(s.z, s.participation))];
+  }
+  return histogram;
+}
+
+}  // namespace kcc

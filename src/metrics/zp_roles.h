@@ -1,0 +1,56 @@
+// z-P analysis (Guimerà & Amaral 2005) over a community cover.
+//
+// The paper (Sec. 1) deliberately avoids z-P for its own analysis because
+// the role taxonomy relies on heuristic thresholds; we implement it so that
+// the comparison the paper alludes to ([21] applies z-P to Internet
+// communities) can be reproduced and the threshold-sensitivity demonstrated.
+//
+// For a node v with community assignment(s):
+//  * z — within-community degree z-score: how hub-like v is inside its
+//    community;
+//  * P — participation coefficient: 1 - Σ_c (k_{v,c}/k_v)², how evenly v's
+//    links spread over communities (0 = all links in one community).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+#include "cpm/community.h"
+#include "graph/graph.h"
+
+namespace kcc {
+
+struct ZpScore {
+  NodeId node = 0;
+  CommunityId community = 0;  // community the z-score is computed within
+  double z = 0.0;
+  double participation = 0.0;
+};
+
+/// Guimerà-Amaral role taxonomy (the heuristic thresholds the paper
+/// distrusts; defaults are the published ones).
+enum class ZpRole {
+  kUltraPeripheral,  // z < 2.5, P <= 0.05
+  kPeripheral,       // z < 2.5, P <= 0.62
+  kConnector,        // z < 2.5, P <= 0.80
+  kKinless,          // z < 2.5, P >  0.80
+  kProvincialHub,    // z >= 2.5, P <= 0.30
+  kConnectorHub,     // z >= 2.5, P <= 0.75
+  kKinlessHub,       // z >= 2.5, P >  0.75
+};
+
+const char* zp_role_name(ZpRole role);
+
+ZpRole classify_zp(double z, double participation);
+
+/// Computes z and P for every (node, community) membership in `set`.
+/// P uses the link distribution of v over all communities of `set`; links
+/// to uncovered nodes count towards the "outside" remainder, which lowers P
+/// by convention (they are treated as one extra pseudo-community).
+std::vector<ZpScore> zp_scores(const Graph& g, const CommunitySet& set);
+
+/// Role histogram over the scores (7 entries ordered as the enum).
+std::vector<std::size_t> zp_role_histogram(const std::vector<ZpScore>& scores);
+
+}  // namespace kcc

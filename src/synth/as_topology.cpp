@@ -1,0 +1,911 @@
+#include "synth/as_topology.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/set_ops.h"
+#include "graph/graph_algorithms.h"
+
+namespace kcc {
+
+const char* as_role_name(AsRole role) {
+  switch (role) {
+    case AsRole::kTier1:
+      return "tier1";
+    case AsRole::kTransit:
+      return "transit";
+    case AsRole::kStub:
+      return "stub";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr const char* kContinents[] = {"EU", "NA", "AS", "SA", "OC", "AF"};
+// Fraction of countries per continent (Europe-heavy, like the IXP world).
+constexpr double kContinentShare[] = {0.35, 0.15, 0.20, 0.10, 0.08, 0.12};
+
+// Mutable generation state threaded through the build steps.
+struct Generator {
+  const SynthParams& p;
+  Rng rng;
+
+  std::size_t num_transit = 0;
+  std::size_t first_transit = 0;  // == num_tier1
+  std::size_t first_stub = 0;
+
+  std::vector<Country> countries;
+  std::vector<std::vector<CountryId>> locations;  // per node
+  std::vector<AsRole> roles;
+
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::vector<LinkType> edge_types;  // parallel to `edges`
+  std::vector<NodeId> pref_pool;  // preferential-attachment multiset
+
+  std::vector<Ixp> ixps;
+  std::vector<bool> in_core;      // node is in the big-IXP core pool
+  NodeSet core_pool;
+  std::vector<NodeSet> big_middle;  // per big IXP: its middle ring
+  std::vector<bool> on_any_ixp;
+
+  NodeSet apex;
+  NodeSet satellites;
+
+  explicit Generator(const SynthParams& params) : p(params), rng(params.seed) {}
+
+  std::size_t n() const { return p.num_ases; }
+
+  // Every non-hierarchy link (IXP fabric, Tier-1 mesh, planted dense
+  // structures, regional cliques) is settlement-free peering; only
+  // customer-provider attachments pass kCustomerProvider explicitly.
+  void add_edge(NodeId u, NodeId v, LinkType type = LinkType::kPeering) {
+    if (u == v) return;
+    edges.emplace_back(u, v);
+    edge_types.push_back(type);
+  }
+
+  void full_mesh(const NodeSet& members) {
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        add_edge(members[i], members[j]);
+      }
+    }
+  }
+
+  // ---------------------------------------------------------------- roles
+  void assign_roles() {
+    num_transit = static_cast<std::size_t>(p.transit_fraction * double(n()));
+    first_transit = p.num_tier1;
+    first_stub = p.num_tier1 + num_transit;
+    require(first_stub < n(), "generate_ecosystem: no stub population left");
+    roles.assign(n(), AsRole::kStub);
+    for (std::size_t i = 0; i < p.num_tier1; ++i) roles[i] = AsRole::kTier1;
+    for (std::size_t i = first_transit; i < first_stub; ++i) {
+      roles[i] = AsRole::kTransit;
+    }
+  }
+
+  // ------------------------------------------------------------ geography
+  void build_countries() {
+    // Allocate countries to continents by the fixed shares; Europe first so
+    // Zipf rank 0..  favours European countries (where the big IXPs live).
+    countries.clear();
+    std::size_t assigned = 0;
+    for (std::size_t c = 0; c < 6; ++c) {
+      std::size_t count = c == 5
+                              ? p.num_countries - assigned
+                              : std::max<std::size_t>(
+                                    1, static_cast<std::size_t>(
+                                           kContinentShare[c] *
+                                           double(p.num_countries)));
+      count = std::min(count, p.num_countries - assigned);
+      for (std::size_t i = 0; i < count; ++i) {
+        Country country;
+        country.code = std::string(kContinents[c]) + "-" +
+                       std::to_string(countries.size());
+        country.continent = kContinents[c];
+        countries.push_back(std::move(country));
+      }
+      assigned += count;
+      if (assigned >= p.num_countries) break;
+    }
+  }
+
+  CountryId sample_country() {
+    return static_cast<CountryId>(
+        rng.next_zipf(countries.size(), p.zipf_country_exponent));
+  }
+
+  CountryId sample_country_in_continent(const std::string& continent) {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const CountryId c = sample_country();
+      if (countries[c].continent == continent) return c;
+    }
+    // Fall back to the first country of the continent.
+    for (CountryId c = 0; c < countries.size(); ++c) {
+      if (countries[c].continent == continent) return c;
+    }
+    return 0;
+  }
+
+  void add_location(NodeId v, CountryId c) {
+    auto& locs = locations[v];
+    if (!contains(locs, c)) {
+      locs.insert(std::lower_bound(locs.begin(), locs.end(), c), c);
+    }
+  }
+
+  std::size_t countries_in_continent(const std::string& continent) const {
+    std::size_t count = 0;
+    for (const Country& c : countries) {
+      if (c.continent == continent) ++count;
+    }
+    return count;
+  }
+
+  std::size_t continent_span(NodeId v) const {
+    std::vector<std::string> seen;
+    for (CountryId c : locations[v]) {
+      const std::string& continent = countries[c].continent;
+      if (std::find(seen.begin(), seen.end(), continent) == seen.end()) {
+        seen.push_back(continent);
+      }
+    }
+    return seen.size();
+  }
+
+  void assign_geography() {
+    locations.assign(n(), {});
+    for (NodeId v = 0; v < n(); ++v) {
+      switch (roles[v]) {
+        case AsRole::kTier1: {
+          // Worldwide by construction: 4-8 countries over >= 3 continents.
+          const std::size_t want = 4 + rng.next_below(5);
+          std::size_t guard = 0;
+          while ((locations[v].size() < want || continent_span(v) < 3) &&
+                 ++guard < 1024) {
+            add_location(v, sample_country());
+          }
+          break;
+        }
+        case AsRole::kTransit: {
+          const double roll = rng.next_double();
+          if (roll < p.p_transit_worldwide) {
+            const std::size_t want = 3 + rng.next_below(4);
+            std::size_t guard = 0;
+            while ((locations[v].size() < want || continent_span(v) < 2) &&
+                   ++guard < 1024) {
+              add_location(v, sample_country());
+            }
+          } else if (roll < p.p_transit_worldwide + p.p_transit_continental) {
+            const CountryId home = sample_country();
+            add_location(v, home);
+            // Clamp to the continent's country count (small continents may
+            // not have enough distinct countries).
+            const std::size_t want = std::min(
+                countries_in_continent(countries[home].continent),
+                std::size_t{2} + rng.next_below(3));
+            std::size_t guard = 0;
+            while (locations[v].size() < want && ++guard < 256) {
+              add_location(v, sample_country_in_continent(
+                                  countries[home].continent));
+            }
+          } else {
+            add_location(v, sample_country());
+          }
+          break;
+        }
+        case AsRole::kStub: {
+          if (rng.next_bool(p.p_stub_unknown)) break;  // unknown AS
+          const CountryId home = sample_country();
+          add_location(v, home);
+          if (rng.next_bool(p.p_stub_extra_country)) {
+            add_location(v, sample_country_in_continent(
+                                countries[home].continent));
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  // ------------------------------------------------------------ hierarchy
+  void build_hierarchy() {
+    // Tier-1 full mesh (the paper's settlement-free top, Sec. 1).
+    NodeSet tier1(p.num_tier1);
+    for (std::size_t i = 0; i < p.num_tier1; ++i) {
+      tier1[i] = static_cast<NodeId>(i);
+    }
+    full_mesh(tier1);
+    for (NodeId v : tier1) {
+      for (std::size_t i = 0; i < p.num_tier1 - 1; ++i) pref_pool.push_back(v);
+    }
+
+    // Transit layer: 1..max providers among earlier transits / tier1,
+    // preferential by degree (the pref_pool multiset).
+    for (NodeId t = static_cast<NodeId>(first_transit);
+         t < static_cast<NodeId>(first_stub); ++t) {
+      const std::size_t providers = 1 + rng.next_below(p.max_transit_providers);
+      NodeSet chosen;
+      for (std::size_t i = 0; i < providers; ++i) {
+        for (int attempt = 0; attempt < 32; ++attempt) {
+          const NodeId candidate =
+              pref_pool[rng.next_below(pref_pool.size())];
+          if (candidate != t && !contains(chosen, candidate)) {
+            chosen.insert(
+                std::lower_bound(chosen.begin(), chosen.end(), candidate),
+                candidate);
+            break;
+          }
+        }
+      }
+      for (NodeId provider : chosen) {
+        add_edge(t, provider, LinkType::kCustomerProvider);
+        pref_pool.push_back(provider);
+        pref_pool.push_back(t);
+      }
+    }
+
+    // Country -> transit providers index for regional provider choice.
+    std::vector<std::vector<NodeId>> transit_in_country(countries.size());
+    for (NodeId t = static_cast<NodeId>(first_transit);
+         t < static_cast<NodeId>(first_stub); ++t) {
+      for (CountryId c : locations[t]) transit_in_country[c].push_back(t);
+    }
+
+    // Stubs: multi-homing to 1-3 providers, same-country biased.
+    for (NodeId s = static_cast<NodeId>(first_stub);
+         s < static_cast<NodeId>(n()); ++s) {
+      std::size_t providers = 1;
+      const double roll = rng.next_double();
+      if (roll < p.p_stub_three_providers) {
+        providers = 3;
+      } else if (roll < p.p_stub_three_providers + p.p_stub_two_providers) {
+        providers = 2;
+      }
+      NodeSet chosen;
+      for (std::size_t i = 0; i < providers; ++i) {
+        NodeId provider = static_cast<NodeId>(-1);
+        const bool prefer_local = rng.next_bool(p.p_stub_same_country_provider);
+        if (prefer_local && !locations[s].empty()) {
+          const CountryId home =
+              locations[s][rng.next_below(locations[s].size())];
+          const auto& local = transit_in_country[home];
+          if (!local.empty()) {
+            provider = local[rng.next_below(local.size())];
+          }
+        }
+        if (provider == static_cast<NodeId>(-1)) {
+          for (int attempt = 0; attempt < 32; ++attempt) {
+            const NodeId candidate =
+                pref_pool[rng.next_below(pref_pool.size())];
+            if (candidate != s) {
+              provider = candidate;
+              break;
+            }
+          }
+        }
+        if (provider == static_cast<NodeId>(-1) || contains(chosen, provider)) {
+          continue;
+        }
+        chosen.insert(
+            std::lower_bound(chosen.begin(), chosen.end(), provider),
+            provider);
+        add_edge(s, provider, LinkType::kCustomerProvider);
+        pref_pool.push_back(provider);
+      }
+      // Provider peering closes the multi-homing triangle; shared
+      // provider-pair edges chain these triangles into the giant k=3
+      // community.
+      if (chosen.size() >= 2 && rng.next_bool(p.p_provider_peering)) {
+        const std::size_t a = rng.next_below(chosen.size());
+        std::size_t b = rng.next_below(chosen.size());
+        if (a == b) b = (b + 1) % chosen.size();
+        add_edge(chosen[a], chosen[b]);
+      }
+    }
+  }
+
+  // ----------------------------------------------------- regional cliques
+  void plant_regional_cliques() {
+    // Country -> non-tier1 members with a presence there. Transits are
+    // repeated in the pool: a regional clique is a multi-homing structure
+    // (customers + their providers), and the providers are also part of the
+    // main percolation body — which is what gives the paper its high
+    // parallel-vs-main overlap fractions.
+    std::vector<std::vector<NodeId>> in_country(countries.size());
+    for (NodeId v = static_cast<NodeId>(first_transit);
+         v < static_cast<NodeId>(n()); ++v) {
+      // The big-IXP core pool is excluded: meshing extra pairs among the
+      // core would extend the planted apex clique past its intended size.
+      if (!in_core.empty() && in_core[v]) continue;
+      // Providers (transits) and exchange members are the glue between a
+      // regional clique and the main percolation body — they are what gives
+      // the paper its high parallel-vs-main overlap fractions.
+      std::size_t repeats = roles[v] == AsRole::kTransit ? 6 : 1;
+      if (!on_any_ixp.empty() && on_any_ixp[v]) repeats *= 3;
+      for (CountryId c : locations[v]) {
+        for (std::size_t r = 0; r < repeats; ++r) in_country[c].push_back(v);
+      }
+    }
+    for (std::size_t i = 0; i < p.num_regional_cliques; ++i) {
+      const CountryId c = sample_country();
+      const auto& pool = in_country[c];
+      if (pool.size() < p.regional_clique_min) continue;
+      // Zipf-skewed sizes: most regional cliques are triangles/quads (a
+      // multi-homed customer plus its providers), occasionally larger —
+      // this is what makes the k=3 community count the Fig. 4.1 maximum.
+      const std::size_t span =
+          std::min(pool.size(), p.regional_clique_max) -
+          p.regional_clique_min + 1;
+      const std::size_t size =
+          p.regional_clique_min + rng.next_zipf(span, 1.6);
+      // The pool is a weighted multiset (transits repeated); draw with
+      // rejection until `size` distinct members are collected.
+      NodeSet members;
+      for (std::size_t attempt = 0;
+           members.size() < size && attempt < size * 64; ++attempt) {
+        const NodeId v = pool[rng.next_below(pool.size())];
+        if (!contains(members, v)) {
+          members.insert(
+              std::lower_bound(members.begin(), members.end(), v), v);
+        }
+      }
+      if (members.size() < p.regional_clique_min) continue;
+      full_mesh(members);
+    }
+  }
+
+  // ------------------------------------------------------------------ IXPs
+  // Weighted pick of `count` distinct nodes from `pool` with `weight(v)`
+  // relative weights (rejection-based; weights must be small integers).
+  NodeSet weighted_sample(const std::vector<NodeId>& pool, std::size_t count,
+                          const std::vector<std::uint8_t>& weight_of) {
+    std::vector<NodeId> expanded;
+    for (NodeId v : pool) {
+      for (std::uint8_t w = 0; w < weight_of[v]; ++w) expanded.push_back(v);
+    }
+    NodeSet chosen;
+    std::size_t guard = 0;
+    while (chosen.size() < count && guard < count * 64 + 1024) {
+      ++guard;
+      const NodeId v = expanded[rng.next_below(expanded.size())];
+      if (!contains(chosen, v)) {
+        chosen.insert(std::lower_bound(chosen.begin(), chosen.end(), v), v);
+      }
+    }
+    return chosen;
+  }
+
+  bool has_continent(NodeId v, const std::string& continent) const {
+    for (CountryId c : locations[v]) {
+      if (countries[c].continent == continent) return true;
+    }
+    return false;
+  }
+
+  void build_core_pool() {
+    // European transit (plus a few tier1) backbone shared by the big three.
+    NodeSet candidates;
+    for (std::size_t i = 0; i < std::min<std::size_t>(4, p.num_tier1); ++i) {
+      candidates.push_back(static_cast<NodeId>(i));
+    }
+    for (NodeId t = static_cast<NodeId>(first_transit);
+         t < static_cast<NodeId>(first_stub); ++t) {
+      if (has_continent(t, "EU")) candidates.push_back(t);
+    }
+    // Top up with any transit when European presence is scarce.
+    for (NodeId t = static_cast<NodeId>(first_transit);
+         candidates.size() < p.big_core_size &&
+         t < static_cast<NodeId>(first_stub);
+         ++t) {
+      if (!contains(candidates, t)) candidates.push_back(t);
+    }
+    require(candidates.size() >= p.big_core_size,
+            "generate_ecosystem: cannot assemble the big-IXP core pool");
+    std::vector<NodeId> shuffled(candidates.begin(), candidates.end());
+    rng.shuffle(shuffled);
+    shuffled.resize(p.big_core_size);
+    core_pool.assign(shuffled.begin(), shuffled.end());
+    std::sort(core_pool.begin(), core_pool.end());
+    in_core.assign(n(), false);
+    for (NodeId v : core_pool) {
+      in_core[v] = true;
+      // The core is the European heart of the topology: make sure members
+      // actually have a European presence.
+      if (!has_continent(v, "EU")) {
+        add_location(v, sample_country_in_continent("EU"));
+      }
+    }
+  }
+
+  void build_ixps(std::vector<IxpId>& big_ids) {
+    static const char* kBigNames[] = {"AMSIX-A", "DECIX-A", "LINX-A"};
+    std::vector<std::uint8_t> weight(n(), 1);
+    for (NodeId v = 0; v < n(); ++v) {
+      if (roles[v] == AsRole::kTier1) {
+        weight[v] = 8;
+      } else if (roles[v] == AsRole::kTransit) {
+        weight[v] = 4;
+      }
+    }
+
+    // All nodes, used as the sampling pool with EU bias for the big three.
+    std::vector<NodeId> everyone(n());
+    for (NodeId v = 0; v < n(); ++v) everyone[v] = v;
+
+    big_middle.clear();
+    for (std::size_t b = 0; b < p.big_ixp_count; ++b) {
+      Ixp ixp;
+      ixp.name = b < 3 ? kBigNames[b] : "BIGIX-" + std::to_string(b);
+      const CountryId home = sample_country_in_continent("EU");
+      ixp.country = countries[home].code;
+
+      // EU-biased weights for this IXP's extra participants.
+      std::vector<std::uint8_t> w = weight;
+      for (NodeId v = 0; v < n(); ++v) {
+        if (has_continent(v, "EU")) {
+          w[v] = static_cast<std::uint8_t>(std::min(12, w[v] * 3));
+        }
+        if (in_core[v]) w[v] = 0;  // core joins unconditionally
+      }
+      NodeSet middle = weighted_sample(everyone, p.big_middle_ring, w);
+      for (NodeId v : middle) w[v] = 0;
+      const std::size_t outer_count =
+          p.big_ixp_participants - p.big_core_size - middle.size();
+      NodeSet outer = weighted_sample(everyone, outer_count, w);
+
+      ixp.participants = set_union(core_pool, set_union(middle, outer));
+      big_middle.push_back(middle);
+      big_ids.push_back(static_cast<IxpId>(ixps.size()));
+      ixps.push_back(std::move(ixp));
+    }
+
+    // Small / medium IXPs with Zipf-ish sizes, country-anchored.
+    std::vector<std::vector<NodeId>> in_country(countries.size());
+    for (NodeId v = 0; v < n(); ++v) {
+      for (CountryId c : locations[v]) in_country[c].push_back(v);
+    }
+    for (std::size_t i = p.big_ixp_count; i < p.num_ixps; ++i) {
+      Ixp ixp;
+      ixp.name = "IXP-" + std::to_string(i);
+      const CountryId home = sample_country();
+      ixp.country = countries[home].code;
+      // next_zipf favours rank 0, so most IXPs sit near the minimum size
+      // with a heavy tail of larger regional exchanges — matching the
+      // skewed participant counts of the real IXP population.
+      const std::size_t span = p.small_ixp_max - p.small_ixp_min + 1;
+      const std::size_t size =
+          p.small_ixp_min + rng.next_zipf(span, p.zipf_ixp_exponent);
+      const auto& local = in_country[home];
+      std::vector<std::uint8_t> w(n(), 0);
+      for (NodeId v : local) {
+        w[v] = roles[v] == AsRole::kStub ? 2 : 6;
+      }
+      // A sprinkle of out-of-country members (remote peering).
+      for (std::size_t j = 0; j < size; ++j) {
+        const NodeId v = static_cast<NodeId>(rng.next_below(n()));
+        if (w[v] == 0) w[v] = 1;
+      }
+      std::vector<NodeId> pool;
+      for (NodeId v = 0; v < n(); ++v) {
+        if (w[v] > 0) pool.push_back(v);
+      }
+      if (pool.size() < p.small_ixp_min) continue;
+      // Never absorb more than half the candidate pool: an IXP that covers
+      // almost every AS of a country would make every regional clique there
+      // a full-share community, which the paper's data contradicts (only 14
+      // root communities have a full-share IXP).
+      const std::size_t cap =
+          std::max(p.small_ixp_min, pool.size() / 2);
+      ixp.participants =
+          weighted_sample(pool, std::min({size, pool.size(), cap}), w);
+      ixps.push_back(std::move(ixp));
+    }
+
+    // Participants usually have a presence in the IXP's country.
+    for (const Ixp& ixp : ixps) {
+      CountryId home = 0;
+      for (CountryId c = 0; c < countries.size(); ++c) {
+        if (countries[c].code == ixp.country) {
+          home = c;
+          break;
+        }
+      }
+      for (NodeId v : ixp.participants) {
+        if (!contains(locations[v], home) &&
+            rng.next_bool(p.p_participant_gains_ixp_country)) {
+          add_location(v, home);
+        }
+      }
+    }
+
+    on_any_ixp.assign(n(), false);
+    for (const Ixp& ixp : ixps) {
+      for (NodeId v : ixp.participants) on_any_ixp[v] = true;
+    }
+  }
+
+  void add_ixp_peering(const std::vector<IxpId>& big_ids) {
+    // Core-core peering handled once globally (the core is shared by all
+    // big IXPs; applying the probability per IXP would compound it).
+    for (std::size_t i = 0; i < core_pool.size(); ++i) {
+      for (std::size_t j = i + 1; j < core_pool.size(); ++j) {
+        if (rng.next_bool(p.p_core_peering)) {
+          add_edge(core_pool[i], core_pool[j]);
+        }
+      }
+    }
+
+    for (std::size_t b = 0; b < big_ids.size(); ++b) {
+      const Ixp& ixp = ixps[big_ids[b]];
+      const NodeSet& middle = big_middle[b];
+      for (std::size_t i = 0; i < ixp.participants.size(); ++i) {
+        for (std::size_t j = i + 1; j < ixp.participants.size(); ++j) {
+          const NodeId a = ixp.participants[i];
+          const NodeId c = ixp.participants[j];
+          if (in_core[a] && in_core[c]) continue;  // handled above
+          const bool a_mid = contains(middle, a);
+          const bool c_mid = contains(middle, c);
+          double prob = p.p_outer_peering;
+          if ((in_core[a] && c_mid) || (in_core[c] && a_mid)) {
+            prob = p.p_middle_core_peering;
+          } else if (a_mid && c_mid) {
+            prob = p.p_middle_peering;
+          }
+          if (rng.next_bool(prob)) add_edge(a, c);
+        }
+      }
+    }
+
+    for (std::size_t i = 0; i < ixps.size(); ++i) {
+      if (std::find(big_ids.begin(), big_ids.end(), static_cast<IxpId>(i)) !=
+          big_ids.end()) {
+        continue;
+      }
+      const Ixp& ixp = ixps[i];
+      if (ixp.participants.size() <= p.full_mesh_ixp_max ||
+          (ixp.participants.size() <= p.route_server_ixp_max &&
+           rng.next_bool(p.p_route_server_mesh))) {
+        full_mesh(ixp.participants);  // route-server full mesh
+        continue;
+      }
+      for (std::size_t a = 0; a < ixp.participants.size(); ++a) {
+        for (std::size_t b = a + 1; b < ixp.participants.size(); ++b) {
+          if (rng.next_bool(p.p_small_ixp_peering)) {
+            add_edge(ixp.participants[a], ixp.participants[b]);
+          }
+        }
+      }
+    }
+  }
+
+  // -------------------------------------------------- planted structures
+  void plant_apex() {
+    // The apex clique: the paper's 36-clique community core, drawn from the
+    // shared big-IXP pool.
+    apex.assign(core_pool.begin(), core_pool.begin() + p.apex_clique_size);
+    full_mesh(apex);
+
+    // Satellites: stubs on no IXP, single non-European location, adjacent to
+    // all but one apex member — they extend the apex community to 36 + s
+    // ASes while keeping max k at 36 (the paper's four exceptions).
+    for (std::size_t s = 0; s < p.apex_satellites; ++s) {
+      NodeId satellite = static_cast<NodeId>(-1);
+      for (NodeId v = static_cast<NodeId>(n()) - 1;
+           v >= static_cast<NodeId>(first_stub); --v) {
+        if (!on_any_ixp[v] && !contains(satellites, v)) {
+          satellite = v;
+          break;
+        }
+      }
+      if (satellite == static_cast<NodeId>(-1)) break;
+      locations[satellite].clear();
+      add_location(satellite, sample_country_in_continent("NA"));
+      for (std::size_t i = 0; i + 1 < apex.size(); ++i) {
+        add_edge(satellite, apex[i]);
+      }
+      satellites.push_back(satellite);
+    }
+    std::sort(satellites.begin(), satellites.end());
+  }
+
+  void plant_crown_cliques(const std::vector<IxpId>& big_ids) {
+    // Crown cliques draw their bulk from the APEX clique (already a mesh),
+    // never from the wider core pool: sampling the whole core would union
+    // many planted meshes over the same 40-50 nodes and push the maximum
+    // clique far beyond the apex size. Fresh members come from the owning
+    // IXP's middle ring, so each crown clique is a subset of that IXP's
+    // participants (the full-share crown communities of Sec. 4.1).
+    // A fresh member must appear in exactly one crown clique: a middle node
+    // reused across cliques becomes adjacent to the union of their apex
+    // subsets, which can complete the whole apex and fold every crown
+    // clique into the main community (and grow the maximum clique past the
+    // apex size).
+    std::vector<bool> fresh_used(n(), false);
+    for (std::size_t b = 0; b < big_ids.size(); ++b) {
+      for (std::size_t i = 0; i < p.crown_cliques_per_big_ixp; ++i) {
+        const std::size_t size =
+            p.crown_clique_min +
+            rng.next_below(p.crown_clique_max - p.crown_clique_min + 1);
+        const std::size_t fresh = 2 + rng.next_below(3);
+        require(size > fresh, "plant_crown_cliques: size too small");
+        NodeSet members = rng.sample_without_replacement(apex, size - fresh);
+        NodeSet extras;
+        for (std::size_t attempt = 0;
+             extras.size() < fresh && attempt < 256; ++attempt) {
+          const NodeId v =
+              big_middle[b][rng.next_below(big_middle[b].size())];
+          if (!fresh_used[v] && !contains(extras, v)) {
+            extras.insert(
+                std::lower_bound(extras.begin(), extras.end(), v), v);
+          }
+        }
+        for (NodeId v : extras) fresh_used[v] = true;
+        members.insert(members.end(), extras.begin(), extras.end());
+        sort_unique(members);
+        full_mesh(members);
+      }
+    }
+  }
+
+  // One trunk structure: a sliding-window chain of k-cliques. Pool layout:
+  // positions [0, attach) hold core members (gluing the chain to the main
+  // body at low k), the rest fresh multi-IXP members; every window of
+  // `k` consecutive positions is a clique.
+  void plant_trunk_chains() {
+    for (std::size_t j = 0; j < p.trunk_chains; ++j) {
+      const std::size_t span = p.trunk_chain_max_k - p.trunk_chain_min_k;
+      const std::size_t k =
+          p.trunk_chain_min_k +
+          (p.trunk_chains <= 1 ? 0 : (j * span) / (p.trunk_chains - 1));
+      const std::size_t length =
+          p.trunk_chain_min_len +
+          rng.next_below(p.trunk_chain_max_len - p.trunk_chain_min_len + 1);
+      const std::size_t attach = 4 + rng.next_below(std::max<std::size_t>(
+                                         1, k > 7 ? k - 7 : 1));
+      const std::size_t pool_size = k + length - 1;
+      require(attach < k, "plant_trunk_chains: attach overlap too large");
+
+      std::vector<NodeId> pool =
+          rng.sample_without_replacement(core_pool, attach);
+      // Fresh members: transit-biased from two random non-big IXPs so no
+      // single IXP contains the chain (the trunk's "no full-share" trait).
+      NodeSet fresh_pool;
+      for (int pick = 0; pick < 2 && ixps.size() > p.big_ixp_count; ++pick) {
+        const std::size_t idx =
+            p.big_ixp_count +
+            rng.next_below(ixps.size() - p.big_ixp_count);
+        const auto& participants = ixps[idx].participants;
+        fresh_pool.insert(fresh_pool.end(), participants.begin(),
+                          participants.end());
+      }
+      sort_unique(fresh_pool);
+      // Remove already-chosen members.
+      NodeSet pool_sorted(pool.begin(), pool.end());
+      std::sort(pool_sorted.begin(), pool_sorted.end());
+      fresh_pool = set_difference(fresh_pool, pool_sorted);
+      while (pool.size() < pool_size) {
+        if (!fresh_pool.empty()) {
+          const std::size_t pick = rng.next_below(fresh_pool.size());
+          pool.push_back(fresh_pool[pick]);
+          fresh_pool.erase(fresh_pool.begin() +
+                           static_cast<std::ptrdiff_t>(pick));
+        } else {
+          const NodeId v = static_cast<NodeId>(
+              first_transit + rng.next_below(n() - first_transit));
+          if (std::find(pool.begin(), pool.end(), v) == pool.end()) {
+            pool.push_back(v);
+          }
+        }
+      }
+      // Window edges: positions closer than k are connected.
+      for (std::size_t a = 0; a < pool.size(); ++a) {
+        for (std::size_t b = a + 1; b < pool.size() && b - a < k; ++b) {
+          add_edge(pool[a], pool[b]);
+        }
+      }
+    }
+
+    plant_backbone_chains();
+  }
+
+  // Backbone chains keep the MAIN community large and chain-like through
+  // the trunk band (paper Fig. 4.3: main size decays smoothly; Sec. 4.2:
+  // trunk mains are "large and dense k-clique chains"). A backbone at order
+  // k starts from k-1 apex members, so its first window shares k-1 nodes
+  // with the apex clique and the whole chain belongs to the main community
+  // at k. Lengths grow as k decreases, producing the smooth size ramp.
+  void plant_backbone_chains() {
+    for (std::size_t k = p.trunk_chain_max_k; k >= p.trunk_chain_min_k;
+         k -= std::min<std::size_t>(k, 4)) {
+      if (k < 4 || k >= p.apex_clique_size) continue;
+      const std::size_t length = (p.trunk_chain_max_k - k + 2) * 3;
+      const std::size_t attach = k - 1;
+      std::vector<NodeId> pool =
+          rng.sample_without_replacement(apex, attach);
+      const std::size_t pool_size = k + length - 1;
+      while (pool.size() < pool_size) {
+        // Transit-biased fresh members: trunk ASes have high degree, are
+        // mostly on-IXP, and have multi-country presence in the paper.
+        const NodeId v = rng.next_bool(0.9)
+                             ? static_cast<NodeId>(
+                                   first_transit +
+                                   rng.next_below(num_transit))
+                             : static_cast<NodeId>(
+                                   first_stub +
+                                   rng.next_below(n() - first_stub));
+        if (std::find(pool.begin(), pool.end(), v) == pool.end()) {
+          pool.push_back(v);
+        }
+      }
+      for (std::size_t a = 0; a < pool.size(); ++a) {
+        for (std::size_t b = a + 1; b < pool.size() && b - a < k; ++b) {
+          add_edge(pool[a], pool[b]);
+        }
+      }
+      if (k < p.trunk_chain_min_k + 4) break;  // avoid size_t underflow
+    }
+  }
+
+  // The MSK-IX-style nested branch (Sec. 4.2): a base clique inside one
+  // medium IXP plus per-level fans producing nested parallel communities of
+  // growing size as k decreases.
+  void plant_nested_branch(const std::vector<IxpId>& big_ids) {
+    // Pick the largest non-big IXP with enough participants.
+    IxpId host = static_cast<IxpId>(-1);
+    std::size_t best = 0;
+    for (IxpId i = 0; i < ixps.size(); ++i) {
+      if (std::find(big_ids.begin(), big_ids.end(), i) != big_ids.end()) {
+        continue;
+      }
+      if (ixps[i].participants.size() > best) {
+        best = ixps[i].participants.size();
+        host = i;
+      }
+    }
+    const std::size_t need =
+        p.nested_branch_base + 6 * p.nested_branch_levels + 10;
+    if (host == static_cast<IxpId>(-1) || best < need) return;
+
+    const NodeSet& participants = ixps[host].participants;
+    NodeSet pool = rng.sample_without_replacement(participants, need);
+    std::size_t cursor = 0;
+    // Base clique: mostly host-IXP participants plus one external transit,
+    // so the branch has a > 95% max-share-IXP but no full-share (the
+    // paper's MSK-IX observation).
+    NodeSet base(pool.begin(), pool.begin() + p.nested_branch_base - 1);
+    cursor += p.nested_branch_base - 1;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const NodeId external = static_cast<NodeId>(
+          first_transit + rng.next_below(num_transit));
+      if (!contains(participants, external) &&
+          std::find(base.begin(), base.end(), external) == base.end()) {
+        base.push_back(external);
+        break;
+      }
+    }
+    std::sort(base.begin(), base.end());
+    full_mesh(base);
+
+    // Level l fans connect to a (base - 1 - l)-subset of the base clique.
+    // A couple of fan members per level are transits from OUTSIDE the host
+    // IXP: the paper's MSK-IX branch shares > 95% of its members with its
+    // max-share-IXP but is not fully contained in it.
+    for (std::size_t level = 1; level <= p.nested_branch_levels; ++level) {
+      const std::size_t anchor_size = p.nested_branch_base - 1 - level;
+      const std::size_t fan = 5 + 5 * level;
+      NodeSet anchors(base.begin(), base.begin() + anchor_size);
+      for (std::size_t f = 0; f < fan; ++f) {
+        NodeId member;
+        if (f < 2) {
+          member = static_cast<NodeId>(first_transit +
+                                       rng.next_below(num_transit));
+          if (contains(participants, member) || contains(base, member)) {
+            continue;
+          }
+        } else if (cursor < pool.size()) {
+          member = pool[cursor++];
+        } else {
+          break;
+        }
+        for (NodeId a : anchors) add_edge(member, a);
+      }
+    }
+  }
+
+  // ---------------------------------------------------------- confluence
+  LabeledGraph finish_topology() {
+    Graph g = Graph::from_edges(n(), edges);
+    // The paper's dataset is one connected component; tie stragglers to a
+    // tier1 (round-robin) without disturbing the dense structure.
+    const ComponentLabeling labels = connected_components(g);
+    if (labels.count > 1) {
+      const auto sizes = labels.sizes();
+      const std::size_t giant = static_cast<std::size_t>(
+          std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+      std::vector<bool> component_seen(labels.count, false);
+      std::size_t rr = 0;
+      for (NodeId v = 0; v < n(); ++v) {
+        const auto comp = labels.component_of[v];
+        if (comp == giant || component_seen[comp]) continue;
+        component_seen[comp] = true;
+        add_edge(v, static_cast<NodeId>(rr % p.num_tier1),
+                 LinkType::kCustomerProvider);
+        ++rr;
+      }
+      g = Graph::from_edges(n(), edges);
+    }
+    LabeledGraph out;
+    out.graph = std::move(g);
+    out.labels.resize(n());
+    for (std::size_t i = 0; i < n(); ++i) {
+      out.labels[i] = static_cast<std::uint64_t>(i) + 1;  // AS numbers
+    }
+    return out;
+  }
+
+  // Consolidates the per-record link types onto the deduplicated canonical
+  // edge list. When a link was created both as a transit contract and as
+  // peering, the economic relationship (customer-provider) wins.
+  RelationshipMap build_relationships(const Graph& g) const {
+    const auto canonical = g.edges();
+    std::vector<LinkType> types(canonical.size(), LinkType::kPeering);
+    auto index_of = [&](NodeId u, NodeId v) {
+      if (u > v) std::swap(u, v);
+      const auto it = std::lower_bound(canonical.begin(), canonical.end(),
+                                       std::make_pair(u, v));
+      return static_cast<std::size_t>(it - canonical.begin());
+    };
+    // First pass marks everything that appears as peering (default), second
+    // overlays customer-provider records.
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (edge_types[i] == LinkType::kCustomerProvider) {
+        types[index_of(edges[i].first, edges[i].second)] =
+            LinkType::kCustomerProvider;
+      }
+    }
+    return RelationshipMap(g, std::move(types));
+  }
+};
+
+}  // namespace
+
+AsEcosystem generate_ecosystem(const SynthParams& params) {
+  params.validate();
+  Generator gen(params);
+
+  gen.assign_roles();
+  gen.build_countries();
+  gen.assign_geography();
+  gen.build_hierarchy();
+  gen.build_core_pool();
+
+  std::vector<IxpId> big_ids;
+  gen.build_ixps(big_ids);
+  gen.add_ixp_peering(big_ids);
+  // Regional cliques are planted after the IXPs so their member pool can
+  // prefer exchange members (see plant_regional_cliques).
+  gen.plant_regional_cliques();
+  gen.plant_apex();
+  gen.plant_crown_cliques(big_ids);
+  gen.plant_trunk_chains();
+  gen.plant_nested_branch(big_ids);
+
+  AsEcosystem eco;
+  eco.topology = gen.finish_topology();
+  eco.relationships = gen.build_relationships(eco.topology.graph);
+  eco.ixps = IxpDataset(std::move(gen.ixps));
+  eco.geo = GeoDataset(std::move(gen.countries), std::move(gen.locations));
+  eco.roles = std::move(gen.roles);
+  eco.big_ixps = std::move(big_ids);
+  eco.apex_clique = std::move(gen.apex);
+  eco.apex_satellites = std::move(gen.satellites);
+  return eco;
+}
+
+}  // namespace kcc

@@ -1,0 +1,61 @@
+// Synthetic AS-ecosystem generator.
+//
+// Substitutes the paper's April-2010 measurement datasets (Sec. 2) with a
+// mechanistic model that reproduces the structural drivers behind the
+// paper's findings (see DESIGN.md Sec. 2 for the substitution argument):
+//
+//  * customer-provider hierarchy — Tier-1 full mesh, preferential-attachment
+//    transit layer, multi-homed stubs → sparse global topology, heavy-tailed
+//    degrees, a single connected component;
+//  * geography — Zipf-sized countries grouped into continents; roles carry
+//    different multi-country spread → the Table 2.2 tag mix;
+//  * IXPs — three dominant European IXPs sharing a core participant pool
+//    plus a power-law tail of small IXPs; peering probability graded from a
+//    dense core outwards → dense crown structures and root-level meshes;
+//  * planted dense structures — an apex clique (the paper's 36-clique), a
+//    pair of "satellite" ASes adjacent to 35 of its members (the paper's
+//    38-AS top community with non-European, non-IXP exceptions),
+//    full-share crown cliques inside single big IXPs, window-chain trunk
+//    structures spanning multiple IXPs (long k-clique chains with no
+//    full-share IXP), a nested branch inside one medium IXP (the MSK-IX
+//    case of Sec. 4.2), and small same-country regional cliques
+//    (multi-homing root communities of Sec. 4.3).
+//
+// Everything is deterministic in (SynthParams, seed).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "data/geography.h"
+#include "data/ixp.h"
+#include "data/relationships.h"
+#include "io/edge_list.h"
+#include "synth/params.h"
+
+namespace kcc {
+
+enum class AsRole : std::uint8_t { kTier1, kTransit, kStub };
+
+const char* as_role_name(AsRole role);
+
+/// A consistent (topology, IXP, geography) triple, plus generation
+/// bookkeeping that tests and analyses can rely on.
+struct AsEcosystem {
+  LabeledGraph topology;          // labels are synthetic AS numbers (id + 1)
+  IxpDataset ixps;
+  GeoDataset geo;
+  RelationshipMap relationships;  // per-link customer-provider vs peering
+  std::vector<AsRole> roles;      // per node
+  std::vector<IxpId> big_ixps;    // ids of the big-three analogs
+  NodeSet apex_clique;            // the planted maximum clique
+  NodeSet apex_satellites;        // the satellite ASes next to the apex
+
+  std::size_t num_ases() const { return topology.graph.num_nodes(); }
+};
+
+/// Generates the full ecosystem; throws kcc::Error on invalid parameters.
+AsEcosystem generate_ecosystem(const SynthParams& params);
+
+}  // namespace kcc

@@ -1,0 +1,90 @@
+#include "synth/params.h"
+
+#include "common/error.h"
+
+namespace kcc {
+
+void SynthParams::validate() const {
+  require(num_ases >= 100, "SynthParams: need at least 100 ASes");
+  require(num_tier1 >= 3 && num_tier1 < num_ases / 10,
+          "SynthParams: tier1 count out of range");
+  require(transit_fraction > 0.0 && transit_fraction < 0.5,
+          "SynthParams: transit_fraction out of range");
+  const auto num_transit =
+      static_cast<std::size_t>(transit_fraction * double(num_ases));
+  require(num_transit >= big_core_size,
+          "SynthParams: transit population smaller than the big-IXP core");
+  require(num_countries >= 6, "SynthParams: need at least 6 countries");
+  require(num_ixps >= big_ixp_count + 1,
+          "SynthParams: need more IXPs than big IXPs");
+  require(big_ixp_count >= 1, "SynthParams: need at least one big IXP");
+  require(big_ixp_participants >= big_core_size + big_middle_ring,
+          "SynthParams: big IXP too small for core + middle ring");
+  require(big_ixp_participants < num_ases,
+          "SynthParams: big IXP larger than the AS population");
+  require(apex_clique_size >= 4 && apex_clique_size <= big_core_size,
+          "SynthParams: apex clique must fit in the core pool");
+  require(crown_clique_min >= 3 && crown_clique_min <= crown_clique_max,
+          "SynthParams: crown clique range invalid");
+  require(crown_clique_max <= apex_clique_size,
+          "SynthParams: crown cliques cannot exceed the apex size");
+  require(trunk_chain_min_k >= 3 && trunk_chain_min_k <= trunk_chain_max_k,
+          "SynthParams: trunk chain k range invalid");
+  require(trunk_chain_max_k < crown_clique_min,
+          "SynthParams: trunk chains must stay below the crown band");
+  require(trunk_chain_min_len >= 1 &&
+              trunk_chain_min_len <= trunk_chain_max_len,
+          "SynthParams: trunk chain length range invalid");
+  require(regional_clique_min >= 3 &&
+              regional_clique_min <= regional_clique_max,
+          "SynthParams: regional clique range invalid");
+  require(small_ixp_min >= 3 && small_ixp_min <= small_ixp_max,
+          "SynthParams: small IXP size range invalid");
+  require(nested_branch_base > nested_branch_levels + 2,
+          "SynthParams: nested branch too deep for its base size");
+  require(nested_branch_base <= trunk_chain_max_k,
+          "SynthParams: nested branch base outside the trunk band");
+}
+
+SynthParams SynthParams::test_scale() {
+  SynthParams p;
+  p.num_ases = 1500;
+  p.num_tier1 = 6;
+  p.transit_fraction = 0.10;
+  p.num_countries = 18;
+  p.num_regional_cliques = 50;
+  p.num_ixps = 20;
+  p.big_ixp_participants = 90;
+  p.big_core_size = 26;
+  p.big_middle_ring = 25;
+  p.small_ixp_max = 40;
+  p.apex_clique_size = 20;
+  p.apex_satellites = 2;
+  p.crown_clique_min = 16;
+  p.crown_clique_max = 19;
+  p.trunk_chains = 4;
+  p.trunk_chain_min_k = 9;
+  p.trunk_chain_max_k = 14;
+  p.trunk_chain_max_len = 5;
+  p.nested_branch_base = 12;
+  p.nested_branch_levels = 2;
+  return p;
+}
+
+SynthParams SynthParams::bench_scale() { return SynthParams{}; }
+
+SynthParams SynthParams::paper_scale() {
+  SynthParams p;
+  p.num_ases = 35390;
+  p.num_tier1 = 12;
+  p.transit_fraction = 0.07;
+  p.num_countries = 60;
+  p.num_regional_cliques = 1000;
+  p.num_ixps = 232;
+  p.big_ixp_participants = 380;
+  p.big_middle_ring = 90;
+  p.trunk_chains = 10;
+  return p;
+}
+
+}  // namespace kcc

@@ -1,0 +1,96 @@
+// Parameters of the synthetic AS-ecosystem generator (see as_topology.h for
+// the mechanism and DESIGN.md Sec. 2 for why each knob exists).
+//
+// Presets:
+//  * test_scale()  — small ecosystem for unit/integration tests (seconds);
+//  * bench_scale() — default for the experiment harnesses; k range matches
+//    the paper (apex clique of 36) at a node count that keeps the full CPM
+//    pipeline in the seconds range;
+//  * paper_scale() — the paper's published dataset dimensions (35,390 ASes,
+//    232 IXPs); minutes of CPU.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace kcc {
+
+struct SynthParams {
+  std::uint64_t seed = 42;
+
+  // --- population ---
+  std::size_t num_ases = 8000;
+  std::size_t num_tier1 = 10;
+  double transit_fraction = 0.08;  // of num_ases (tier1 excluded from this)
+
+  // --- geography ---
+  std::size_t num_countries = 40;
+  double zipf_country_exponent = 1.05;  // country size skew
+  double p_stub_unknown = 0.05;         // stubs with no geo data
+  double p_stub_extra_country = 0.03;   // stubs present in a 2nd country
+  double p_transit_worldwide = 0.30;
+  double p_transit_continental = 0.25;  // else national
+  double p_participant_gains_ixp_country = 0.9;
+
+  // --- customer-provider hierarchy ---
+  double p_stub_two_providers = 0.30;    // multi-homing
+  double p_stub_three_providers = 0.15;
+  double p_stub_same_country_provider = 0.75;
+  std::size_t max_transit_providers = 3;
+  /// Probability that a multi-homed stub's two providers peer directly.
+  /// This closes customer-provider-provider triangles, whose shared
+  /// provider-pair edges chain the triangles together — the mechanism
+  /// behind the paper's giant k=3 main community (69% of all ASes).
+  double p_provider_peering = 0.60;
+
+  // --- regional cliques (root communities) ---
+  std::size_t num_regional_cliques = 800;
+  std::size_t regional_clique_min = 3;
+  std::size_t regional_clique_max = 8;
+
+  // --- IXPs ---
+  std::size_t num_ixps = 80;
+  std::size_t big_ixp_count = 3;            // the AMS-IX/DE-CIX/LINX analogs
+  std::size_t big_ixp_participants = 260;
+  std::size_t small_ixp_min = 5;
+  std::size_t small_ixp_max = 70;
+  double zipf_ixp_exponent = 1.0;           // small-IXP size skew
+  std::size_t full_mesh_ixp_max = 6;        // small IXPs up to this size mesh
+  /// Mid-size IXPs (up to route_server_ixp_max participants) run a
+  /// route-server full mesh with this probability — the source of the
+  /// paper's root-band full-share communities at k up to ~14.
+  double p_route_server_mesh = 0.25;
+  std::size_t route_server_ixp_max = 14;
+  double p_small_ixp_peering = 0.08;        // other small-IXP pairs
+  // graded peering inside the big three
+  std::size_t big_core_size = 44;           // shared European core pool
+  double p_core_peering = 0.35;
+  std::size_t big_middle_ring = 70;         // per big IXP
+  double p_middle_peering = 0.18;
+  double p_middle_core_peering = 0.30;
+  double p_outer_peering = 0.03;
+
+  // --- planted dense structures ---
+  std::size_t apex_clique_size = 36;       // the paper's maximum k
+  std::size_t apex_satellites = 2;         // extra ASes adjacent to 35 apex members
+  std::size_t crown_cliques_per_big_ixp = 3;
+  std::size_t crown_clique_min = 29;
+  std::size_t crown_clique_max = 34;
+  std::size_t trunk_chains = 7;
+  std::size_t trunk_chain_min_k = 15;
+  std::size_t trunk_chain_max_k = 28;
+  std::size_t trunk_chain_min_len = 3;
+  std::size_t trunk_chain_max_len = 9;
+  std::size_t nested_branch_base = 21;     // the MSK-IX-style branch (Sec. 4.2)
+  std::size_t nested_branch_levels = 3;
+
+  /// Throws kcc::Error when the parameters are inconsistent (e.g. core pool
+  /// larger than the transit population).
+  void validate() const;
+
+  static SynthParams test_scale();
+  static SynthParams bench_scale();
+  static SynthParams paper_scale();
+};
+
+}  // namespace kcc

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "baselines/gce.h"
+#include "baselines/kcore.h"
+#include "baselines/kdense.h"
+#include "common/set_ops.h"
+#include "test_helpers.h"
+
+namespace kcc {
+namespace {
+
+using testing::complete_graph;
+using testing::cycle_graph;
+using testing::make_graph;
+using testing::random_graph;
+
+TEST(KCore, CompleteGraph) {
+  const auto d = kcore_decomposition(complete_graph(5));
+  EXPECT_EQ(d.max_core, 4u);
+  EXPECT_EQ(d.core_nodes(4).size(), 5u);
+  EXPECT_TRUE(d.core_nodes(5).empty());
+}
+
+TEST(KCore, CycleWithPendant) {
+  // Cycle 0-1-2-3-0 plus pendant 4 on node 0.
+  const Graph g = make_graph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 4}});
+  const auto d = kcore_decomposition(g);
+  EXPECT_EQ(d.max_core, 2u);
+  EXPECT_EQ(d.core_number[4], 1u);
+  EXPECT_EQ(d.core_nodes(2), (NodeSet{0, 1, 2, 3}));
+  const auto shells = d.shell_sizes();
+  ASSERT_EQ(shells.size(), 3u);
+  EXPECT_EQ(shells[1], 1u);
+  EXPECT_EQ(shells[2], 4u);
+}
+
+TEST(KCore, ComponentsArePartition) {
+  const Graph g = random_graph(60, 0.1, 13);
+  for (std::uint32_t k = 1; k <= 3; ++k) {
+    const auto comps = kcore_components(g, k);
+    NodeSet all;
+    for (const auto& c : comps) {
+      all.insert(all.end(), c.begin(), c.end());
+    }
+    const std::size_t total = all.size();
+    sort_unique(all);
+    EXPECT_EQ(all.size(), total) << "components overlap at k " << k;
+  }
+}
+
+TEST(KDense, TriangleSurvivesK3) {
+  const Graph g = make_graph(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  const auto sub = kdense_subgraph(g, 3);
+  EXPECT_EQ(sub.nodes, (NodeSet{0, 1, 2}));
+  EXPECT_EQ(sub.edges.size(), 3u);  // pendant edge peeled
+}
+
+TEST(KDense, K2KeepsEverything) {
+  const Graph g = make_graph(4, {{0, 1}, {2, 3}});
+  const auto sub = kdense_subgraph(g, 2);
+  EXPECT_EQ(sub.nodes.size(), 4u);
+  EXPECT_EQ(sub.edges.size(), 2u);
+}
+
+TEST(KDense, CompleteGraphSurvivesUpToN) {
+  const Graph g = complete_graph(6);
+  // Every edge has 4 common neighbours -> survives k-2 <= 4, i.e. k <= 6.
+  EXPECT_EQ(kdense_subgraph(g, 6).edges.size(), 15u);
+  EXPECT_TRUE(kdense_subgraph(g, 7).edges.empty());
+}
+
+TEST(KDense, CascadingPeel) {
+  // Two triangles sharing one node: at k=3 both survive (each edge has one
+  // common neighbour); a path graph dies entirely.
+  const Graph path = make_graph(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_TRUE(kdense_subgraph(path, 3).edges.empty());
+}
+
+TEST(KDense, ComponentsOfTwoSeparateDenseZones) {
+  GraphBuilder b;
+  for (NodeId i = 0; i < 4; ++i) {
+    for (NodeId j = i + 1; j < 4; ++j) b.add_edge(i, j);
+  }
+  for (NodeId i = 4; i < 8; ++i) {
+    for (NodeId j = i + 1; j < 8; ++j) b.add_edge(i, j);
+  }
+  b.add_edge(3, 4);  // bridge
+  const auto comps = kdense_components(b.build(), 4);
+  ASSERT_EQ(comps.size(), 2u);
+  EXPECT_EQ(comps[0], (NodeSet{0, 1, 2, 3}));
+  EXPECT_EQ(comps[1], (NodeSet{4, 5, 6, 7}));
+}
+
+TEST(KDense, InvalidKThrows) {
+  EXPECT_THROW(kdense_subgraph(complete_graph(3), 1), Error);
+}
+
+TEST(KDense, EdgeDensenessMonotone) {
+  const Graph g = random_graph(25, 0.3, 31);
+  const auto denseness = edge_denseness(g);
+  const auto edges = g.edges();
+  ASSERT_EQ(denseness.size(), edges.size());
+  // Cross-check: edge survives the k-dense subgraph iff denseness >= k.
+  for (std::uint32_t k = 2; k <= 5; ++k) {
+    const auto sub = kdense_subgraph(g, k);
+    std::size_t expected = 0;
+    for (auto d : denseness) expected += d >= k ? 1 : 0;
+    EXPECT_EQ(sub.edges.size(), expected) << "k " << k;
+  }
+}
+
+TEST(Gce, FitnessPrefersInternalLinks) {
+  // Isolated clique: fitness 1 (k_out = 0, alpha = 1).
+  const Graph iso = complete_graph(4);
+  EXPECT_DOUBLE_EQ(gce_fitness(iso, {0, 1, 2, 3}, 1.0), 1.0);
+
+  // Tier-1-like: triangle with many external customers -> fitness tiny.
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(1, 2);
+  NodeId next = 3;
+  for (NodeId hub = 0; hub < 3; ++hub) {
+    for (int i = 0; i < 20; ++i) b.add_edge(hub, next++);
+  }
+  const Graph tier1 = b.build();
+  EXPECT_LT(gce_fitness(tier1, {0, 1, 2}, 1.0), 0.15);
+}
+
+TEST(Gce, FitnessOfEmptySetIsZero) {
+  EXPECT_DOUBLE_EQ(gce_fitness(complete_graph(3), {}, 1.0), 0.0);
+}
+
+TEST(Gce, FindsIsolatedCliques) {
+  GraphBuilder b;
+  for (NodeId i = 0; i < 5; ++i) {
+    for (NodeId j = i + 1; j < 5; ++j) b.add_edge(i, j);
+  }
+  for (NodeId i = 5; i < 9; ++i) {
+    for (NodeId j = i + 1; j < 9; ++j) b.add_edge(i, j);
+  }
+  const auto communities = greedy_clique_expansion(b.build());
+  ASSERT_EQ(communities.size(), 2u);
+  EXPECT_EQ(communities[0], (NodeSet{0, 1, 2, 3, 4}));
+  EXPECT_EQ(communities[1], (NodeSet{5, 6, 7, 8}));
+}
+
+TEST(Gce, ExpandsSeedIntoDenseZone) {
+  // A 6-clique missing one edge: the 4-clique seeds should expand to cover
+  // (most of) the dense zone.
+  GraphBuilder b;
+  for (NodeId i = 0; i < 6; ++i) {
+    for (NodeId j = i + 1; j < 6; ++j) {
+      if (!(i == 0 && j == 5)) b.add_edge(i, j);
+    }
+  }
+  const auto communities = greedy_clique_expansion(b.build());
+  ASSERT_GE(communities.size(), 1u);
+  EXPECT_GE(communities[0].size(), 5u);
+}
+
+TEST(Gce, MaxSeedsBoundsWork) {
+  const Graph g = random_graph(30, 0.3, 8);
+  GceOptions options;
+  options.max_seeds = 3;
+  const auto communities = greedy_clique_expansion(g, options);
+  EXPECT_LE(communities.size(), 3u);
+}
+
+TEST(Gce, InvalidOptionsThrow) {
+  GceOptions options;
+  options.min_clique_size = 1;
+  EXPECT_THROW(greedy_clique_expansion(complete_graph(3), options), Error);
+}
+
+}  // namespace
+}  // namespace kcc

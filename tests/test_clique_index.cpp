@@ -1,0 +1,93 @@
+#include "cpm/clique_index.h"
+
+#include <gtest/gtest.h>
+
+#include "clique/bron_kerbosch.h"
+#include "common/set_ops.h"
+#include "test_helpers.h"
+
+namespace kcc {
+namespace {
+
+using testing::random_graph;
+
+// Oracle: all-pairs overlap computation.
+std::vector<CliqueOverlap> naive_overlaps(const std::vector<NodeSet>& cliques,
+                                          std::size_t min_overlap) {
+  std::vector<CliqueOverlap> out;
+  for (CliqueId a = 0; a < cliques.size(); ++a) {
+    for (CliqueId b = a + 1; b < cliques.size(); ++b) {
+      const auto o = intersection_size(cliques[a], cliques[b]);
+      if (o >= min_overlap) {
+        out.push_back({a, b, static_cast<std::uint32_t>(o)});
+      }
+    }
+  }
+  return out;
+}
+
+bool same_overlaps(const std::vector<CliqueOverlap>& x,
+                   const std::vector<CliqueOverlap>& y) {
+  if (x.size() != y.size()) return false;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i].a != y[i].a || x[i].b != y[i].b || x[i].overlap != y[i].overlap) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(CliqueIndex, NodeCliqueIndexComplete) {
+  const std::vector<NodeSet> cliques{{0, 1, 2}, {1, 2, 3}, {4}};
+  const auto index = build_node_clique_index(cliques, 5);
+  EXPECT_EQ(index[0], (std::vector<CliqueId>{0}));
+  EXPECT_EQ(index[1], (std::vector<CliqueId>{0, 1}));
+  EXPECT_EQ(index[2], (std::vector<CliqueId>{0, 1}));
+  EXPECT_EQ(index[3], (std::vector<CliqueId>{1}));
+  EXPECT_EQ(index[4], (std::vector<CliqueId>{2}));
+}
+
+TEST(CliqueIndex, SequentialMatchesNaive) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Graph g = random_graph(25, 0.35, seed);
+    const auto cliques = maximal_cliques(g, 2);
+    for (std::size_t min_overlap : {1u, 2u, 3u}) {
+      const auto fast =
+          compute_clique_overlaps_sequential(cliques, g.num_nodes(), min_overlap);
+      const auto naive = naive_overlaps(cliques, min_overlap);
+      EXPECT_TRUE(same_overlaps(fast, naive))
+          << "seed " << seed << " min_overlap " << min_overlap;
+    }
+  }
+}
+
+TEST(CliqueIndex, ParallelMatchesSequential) {
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    const Graph g = random_graph(40, 0.3, 7);
+    const auto cliques = maximal_cliques(g, 2);
+    const auto seq =
+        compute_clique_overlaps_sequential(cliques, g.num_nodes(), 2);
+    const auto par = compute_clique_overlaps(cliques, g.num_nodes(), 2, pool);
+    EXPECT_TRUE(same_overlaps(seq, par)) << "threads " << threads;
+  }
+}
+
+TEST(CliqueIndex, EmptyCliqueSet) {
+  ThreadPool pool(2);
+  EXPECT_TRUE(compute_clique_overlaps({}, 10, 1, pool).empty());
+  EXPECT_TRUE(compute_clique_overlaps_sequential({}, 10, 1).empty());
+}
+
+TEST(CliqueIndex, MinOverlapZeroThrows) {
+  ThreadPool pool(2);
+  EXPECT_THROW(compute_clique_overlaps({{0, 1}}, 2, 0, pool), Error);
+}
+
+TEST(CliqueIndex, DisjointCliquesNoPairs) {
+  const std::vector<NodeSet> cliques{{0, 1, 2}, {3, 4, 5}};
+  EXPECT_TRUE(compute_clique_overlaps_sequential(cliques, 6, 1).empty());
+}
+
+}  // namespace
+}  // namespace kcc

@@ -1,0 +1,84 @@
+#include "graph/clustering.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace kcc {
+namespace {
+
+using testing::complete_graph;
+using testing::cycle_graph;
+using testing::make_graph;
+using testing::random_graph;
+
+TEST(Clustering, TriangleCounts) {
+  EXPECT_EQ(triangle_count(complete_graph(3)), 1u);
+  EXPECT_EQ(triangle_count(complete_graph(5)), 10u);  // C(5,3)
+  EXPECT_EQ(triangle_count(cycle_graph(5)), 0u);
+  EXPECT_EQ(triangle_count(Graph{}), 0u);
+}
+
+TEST(Clustering, PerNodeCounts) {
+  // Two triangles sharing node 2.
+  const Graph g =
+      make_graph(5, {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {2, 4}, {3, 4}});
+  const auto per_node = triangles_per_node(g);
+  EXPECT_EQ(per_node[0], 1u);
+  EXPECT_EQ(per_node[2], 2u);
+  EXPECT_EQ(per_node[4], 1u);
+  EXPECT_EQ(triangle_count(g), 2u);
+}
+
+TEST(Clustering, LocalClustering) {
+  const Graph g = complete_graph(4);
+  for (NodeId v = 0; v < 4; ++v) {
+    EXPECT_DOUBLE_EQ(local_clustering(g, v), 1.0);
+  }
+  // Star: center has 0 clustering (no neighbor links).
+  const Graph star = make_graph(4, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_DOUBLE_EQ(local_clustering(star, 0), 0.0);
+  EXPECT_DOUBLE_EQ(local_clustering(star, 1), 0.0);  // degree 1
+  EXPECT_THROW(local_clustering(star, 9), Error);
+}
+
+TEST(Clustering, AverageClusteringOfClique) {
+  EXPECT_DOUBLE_EQ(average_clustering(complete_graph(6)), 1.0);
+  EXPECT_DOUBLE_EQ(average_clustering(cycle_graph(6)), 0.0);
+  EXPECT_DOUBLE_EQ(average_clustering(Graph{}), 0.0);
+}
+
+TEST(Clustering, TransitivityKite) {
+  // Triangle with a pendant: 1 triangle, wedges = 3 (deg2) + C(3,2) at the
+  // degree-3 node + 0 = 1+1+3+0... compute explicitly for the kite graph.
+  const Graph g = make_graph(4, {{0, 1}, {0, 2}, {1, 2}, {2, 3}});
+  // degrees: 2,2,3,1 -> wedges: 1 + 1 + 3 + 0 = 5; closed corners = 3.
+  EXPECT_DOUBLE_EQ(transitivity(g), 3.0 / 5.0);
+}
+
+TEST(Clustering, AverageVsTransitivityConsistency) {
+  // Both coefficients in [0,1] and agree on clique/triangle-free graphs.
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Graph g = random_graph(40, 0.2, seed);
+    const double avg = average_clustering(g);
+    const double trans = transitivity(g);
+    EXPECT_GE(avg, 0.0);
+    EXPECT_LE(avg, 1.0);
+    EXPECT_GE(trans, 0.0);
+    EXPECT_LE(trans, 1.0);
+  }
+}
+
+TEST(Clustering, LocalMatchesTriangleCounts) {
+  const Graph g = random_graph(30, 0.3, 11);
+  const auto per_node = triangles_per_node(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const std::size_t degree = g.degree(v);
+    if (degree < 2) continue;
+    const double wedges = double(degree) * double(degree - 1) / 2.0;
+    EXPECT_NEAR(local_clustering(g, v), double(per_node[v]) / wedges, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace kcc

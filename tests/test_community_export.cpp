@@ -1,0 +1,82 @@
+#include "io/community_export.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+#include "cpm/cpm.h"
+#include "test_helpers.h"
+
+namespace kcc {
+namespace {
+
+using testing::overlapping_cliques;
+
+TEST(CommunityExport, MembershipCsvRows) {
+  const Graph g = overlapping_cliques(5, 5, 3);
+  const LabeledGraph labeled = with_identity_labels(g);
+  CpmOptions options;
+  options.min_k = 5;
+  const CpmResult r = run_cpm(labeled.graph, options);
+
+  std::ostringstream out;
+  write_membership_csv(out, r, labeled);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("as,k,community\n"), std::string::npos);
+  // Two 5-communities, 5 members each -> 10 rows + header.
+  std::size_t lines = 0;
+  for (char c : csv) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 11u);
+  EXPECT_NE(csv.find("0,5,0\n"), std::string::npos);
+}
+
+TEST(CommunityExport, UsesExternalLabels) {
+  std::istringstream in("100 200\n200 300\n100 300\n");
+  const LabeledGraph g = read_edge_list(in);
+  const CpmResult r = run_cpm(g.graph);
+  std::ostringstream out;
+  write_membership_csv(out, r, g);
+  EXPECT_NE(out.str().find("\n100,3,0"), std::string::npos);
+  EXPECT_NE(out.str().find("\n300,2,0"), std::string::npos);
+  EXPECT_EQ(out.str().find("\n0,3,0"), std::string::npos);  // no dense ids
+  EXPECT_EQ(out.str().find("\n1,"), std::string::npos);
+}
+
+TEST(CommunityExport, ListingFormat) {
+  const Graph g = overlapping_cliques(4, 4, 2);
+  const LabeledGraph labeled = with_identity_labels(g);
+  const CpmResult r = run_cpm(labeled.graph);
+  std::ostringstream out;
+  write_community_listing(out, r, labeled);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("k4 id0:"), std::string::npos);
+  EXPECT_NE(text.find("k2 id0:"), std::string::npos);
+}
+
+TEST(CommunityExport, LabelMismatchThrows) {
+  const Graph g = overlapping_cliques(4, 4, 2);
+  const CpmResult r = run_cpm(g);
+  LabeledGraph bad;
+  bad.graph = g;
+  bad.labels = {1, 2};  // wrong size
+  std::ostringstream out;
+  EXPECT_THROW(write_membership_csv(out, r, bad), Error);
+  EXPECT_THROW(write_community_listing(out, r, bad), Error);
+}
+
+TEST(CommunityExport, FileWrite) {
+  const Graph g = overlapping_cliques(4, 4, 2);
+  const LabeledGraph labeled = with_identity_labels(g);
+  const CpmResult r = run_cpm(labeled.graph);
+  const std::string path = ::testing::TempDir() + "/membership.csv";
+  write_membership_csv_file(path, r, labeled);
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  EXPECT_THROW(write_membership_csv_file("/nonexistent/dir/x.csv", r, labeled),
+               Error);
+}
+
+}  // namespace
+}  // namespace kcc

@@ -1,0 +1,186 @@
+#include "cpm/community_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/set_ops.h"
+#include "cpm/cpm.h"
+#include "io/dot_export.h"
+#include "test_helpers.h"
+
+namespace kcc {
+namespace {
+
+using testing::complete_graph;
+using testing::overlapping_cliques;
+using testing::random_graph;
+
+TEST(CommunityTree, CompleteGraphIsAPath) {
+  const CpmResult r = run_cpm(complete_graph(5));
+  const CommunityTree tree = CommunityTree::build(r);
+  EXPECT_EQ(tree.min_k(), 2u);
+  EXPECT_EQ(tree.max_k(), 5u);
+  EXPECT_EQ(tree.nodes().size(), 4u);
+  EXPECT_EQ(tree.main_count(), 4u);
+  EXPECT_EQ(tree.parallel_count(), 0u);
+  const auto chain = tree.main_chain();
+  ASSERT_EQ(chain.size(), 4u);
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    EXPECT_EQ(tree.nodes()[chain[i]].k, 2 + i);
+    EXPECT_TRUE(tree.nodes()[chain[i]].is_main);
+  }
+}
+
+TEST(CommunityTree, ParallelBranchAtTopLevel) {
+  // Two 5-cliques sharing 3 nodes: at k=5 two communities, one main
+  // (the apex) and one parallel.
+  const CpmResult r = run_cpm(overlapping_cliques(5, 5, 3));
+  const CommunityTree tree = CommunityTree::build(r);
+  EXPECT_EQ(tree.level(5).size(), 2u);
+  std::size_t mains = 0;
+  for (int idx : tree.level(5)) {
+    mains += tree.nodes()[idx].is_main ? 1 : 0;
+  }
+  EXPECT_EQ(mains, 1u);
+  EXPECT_EQ(tree.parallel_count(), 1u);
+}
+
+TEST(CommunityTree, ParentContainsChild) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Graph g = random_graph(30, 0.25, seed);
+    const CpmResult r = run_cpm(g);
+    if (r.max_k < r.min_k) continue;
+    const CommunityTree tree = CommunityTree::build(r);
+    for (const TreeNode& node : tree.nodes()) {
+      if (node.parent < 0) continue;
+      const TreeNode& parent = tree.nodes()[node.parent];
+      EXPECT_EQ(parent.k + 1, node.k);
+      const auto& child_nodes =
+          r.at(node.k).communities[node.community_id].nodes;
+      const auto& parent_nodes =
+          r.at(parent.k).communities[parent.community_id].nodes;
+      EXPECT_TRUE(is_subset(child_nodes, parent_nodes));
+    }
+  }
+}
+
+TEST(CommunityTree, ExactlyOneMainPerLevel) {
+  const Graph g = random_graph(40, 0.2, 17);
+  const CpmResult r = run_cpm(g);
+  const CommunityTree tree = CommunityTree::build(r);
+  for (std::size_t k = tree.min_k(); k <= tree.max_k(); ++k) {
+    std::size_t mains = 0;
+    for (int idx : tree.level(k)) mains += tree.nodes()[idx].is_main ? 1 : 0;
+    EXPECT_EQ(mains, 1u) << "k " << k;
+  }
+}
+
+TEST(CommunityTree, ChildrenListsConsistent) {
+  const Graph g = random_graph(35, 0.25, 9);
+  const CommunityTree tree = CommunityTree::build(run_cpm(g));
+  for (std::size_t i = 0; i < tree.nodes().size(); ++i) {
+    for (int child : tree.nodes()[i].children) {
+      EXPECT_EQ(tree.nodes()[child].parent, static_cast<int>(i));
+    }
+    if (tree.nodes()[i].parent >= 0) {
+      const auto& siblings = tree.nodes()[tree.nodes()[i].parent].children;
+      EXPECT_NE(std::find(siblings.begin(), siblings.end(),
+                          static_cast<int>(i)),
+                siblings.end());
+    }
+  }
+}
+
+TEST(CommunityTree, IndexOfRoundTrip) {
+  const Graph g = random_graph(30, 0.3, 4);
+  const CommunityTree tree = CommunityTree::build(run_cpm(g));
+  for (std::size_t i = 0; i < tree.nodes().size(); ++i) {
+    const TreeNode& node = tree.nodes()[i];
+    EXPECT_EQ(tree.index_of(node.k, node.community_id), static_cast<int>(i));
+  }
+  EXPECT_EQ(tree.index_of(999, 0), -1);
+}
+
+TEST(CommunityTree, ApexIsLargestAtTopLevel) {
+  const CpmResult r = run_cpm(overlapping_cliques(5, 5, 3));
+  const CommunityTree tree = CommunityTree::build(r);
+  const TreeNode& apex = tree.nodes()[tree.apex()];
+  EXPECT_EQ(apex.k, r.max_k);
+  EXPECT_EQ(apex.community_id, 0u);  // canonical: largest first
+}
+
+TEST(CommunityTree, BranchLengthAboveLeaf) {
+  const CpmResult r = run_cpm(overlapping_cliques(5, 5, 3));
+  const CommunityTree tree = CommunityTree::build(r);
+  // The parallel 5-clique community is a 1-node branch.
+  for (int idx : tree.level(5)) {
+    if (!tree.nodes()[idx].is_main) {
+      EXPECT_EQ(tree.branch_length_above(idx), 1u);
+    } else {
+      EXPECT_EQ(tree.branch_length_above(idx), 0u);
+    }
+  }
+}
+
+TEST(CommunityTree, EmptyCpmThrows) {
+  CpmResult empty;
+  empty.min_k = 2;
+  empty.max_k = 1;
+  EXPECT_THROW(CommunityTree::build(empty), Error);
+}
+
+TEST(TreeLevelStats, CountsMatch) {
+  const CpmResult r = run_cpm(overlapping_cliques(5, 5, 3));
+  const CommunityTree tree = CommunityTree::build(r);
+  const auto stats = tree_level_stats(tree);
+  ASSERT_EQ(stats.size(), r.max_k - r.min_k + 1);
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.community_count, r.at(s.k).count());
+    EXPECT_EQ(s.parallel_count + 1, s.community_count);
+    EXPECT_GT(s.main_size, 0u);
+  }
+  // Main size shrinks weakly with k.
+  for (std::size_t i = 1; i < stats.size(); ++i) {
+    EXPECT_LE(stats[i].main_size, stats[i - 1].main_size);
+  }
+}
+
+TEST(BandThresholds, Classification) {
+  const BandThresholds bands{14, 28};
+  EXPECT_EQ(bands.band_of(2), Band::kRoot);
+  EXPECT_EQ(bands.band_of(14), Band::kRoot);
+  EXPECT_EQ(bands.band_of(15), Band::kTrunk);
+  EXPECT_EQ(bands.band_of(28), Band::kTrunk);
+  EXPECT_EQ(bands.band_of(29), Band::kCrown);
+  EXPECT_EQ(bands.band_of(36), Band::kCrown);
+  EXPECT_STREQ(band_name(Band::kRoot), "root");
+  EXPECT_STREQ(band_name(Band::kTrunk), "trunk");
+  EXPECT_STREQ(band_name(Band::kCrown), "crown");
+}
+
+TEST(DotExport, TreeDotWellFormed) {
+  const CpmResult r = run_cpm(overlapping_cliques(5, 5, 3));
+  const CommunityTree tree = CommunityTree::build(r);
+  std::ostringstream os;
+  write_tree_dot(os, tree);
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("graph community_tree {"), std::string::npos);
+  EXPECT_NE(dot.find("style=filled"), std::string::npos);  // main nodes
+  EXPECT_NE(dot.find("rank=same"), std::string::npos);
+  EXPECT_NE(dot.find("--"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(DotExport, MinKShownFilters) {
+  const CpmResult r = run_cpm(overlapping_cliques(5, 5, 3));
+  const CommunityTree tree = CommunityTree::build(r);
+  std::ostringstream os;
+  write_tree_dot(os, tree, 5);
+  const std::string dot = os.str();
+  EXPECT_EQ(dot.find("k4id"), std::string::npos);
+  EXPECT_NE(dot.find("k5id"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kcc

@@ -1,0 +1,102 @@
+#include "metrics/cover_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "cpm/cpm.h"
+#include "test_helpers.h"
+
+namespace kcc {
+namespace {
+
+using testing::complete_graph;
+using testing::overlapping_cliques;
+
+CommunitySet make_set(std::size_t k, std::vector<NodeSet> communities) {
+  CommunitySet set;
+  set.k = k;
+  for (CommunityId id = 0; id < communities.size(); ++id) {
+    Community c;
+    c.k = k;
+    c.id = id;
+    c.nodes = std::move(communities[id]);
+    set.communities.push_back(std::move(c));
+  }
+  return set;
+}
+
+TEST(CoverStats, SingleCommunity) {
+  const auto set = make_set(3, {{0, 1, 2, 3}});
+  const auto stats = compute_cover_stats(set, 10);
+  EXPECT_EQ(stats.community_count, 1u);
+  EXPECT_EQ(stats.covered_nodes, 4u);
+  EXPECT_DOUBLE_EQ(stats.mean_membership, 1.0);
+  EXPECT_EQ(stats.max_membership, 1u);
+  EXPECT_EQ(stats.overlapping_pairs, 0u);
+  ASSERT_GT(stats.size_histogram.size(), 4u);
+  EXPECT_EQ(stats.size_histogram[4], 1u);
+}
+
+TEST(CoverStats, OverlappingCommunities) {
+  const auto set = make_set(3, {{0, 1, 2}, {2, 3, 4}, {4, 5, 6}, {7, 8, 9}});
+  const auto stats = compute_cover_stats(set, 10);
+  EXPECT_EQ(stats.covered_nodes, 10u);
+  // Nodes 2 and 4 are in two communities each.
+  ASSERT_GT(stats.membership_histogram.size(), 2u);
+  EXPECT_EQ(stats.membership_histogram[2], 2u);
+  EXPECT_EQ(stats.membership_histogram[1], 8u);
+  EXPECT_EQ(stats.max_membership, 2u);
+  EXPECT_DOUBLE_EQ(stats.mean_membership, 12.0 / 10.0);
+  // Overlap pairs: (0,1) share {2}, (1,2) share {4}.
+  EXPECT_EQ(stats.overlapping_pairs, 2u);
+  ASSERT_GT(stats.overlap_size_histogram.size(), 1u);
+  EXPECT_EQ(stats.overlap_size_histogram[1], 2u);
+  // Community degrees: 1, 2, 1, 0.
+  EXPECT_EQ(stats.community_degree, (std::vector<std::size_t>{1, 2, 1, 0}));
+  EXPECT_DOUBLE_EQ(stats.mean_community_degree, 1.0);
+}
+
+TEST(CoverStats, EmptySet) {
+  const auto stats = compute_cover_stats(make_set(3, {}), 5);
+  EXPECT_EQ(stats.community_count, 0u);
+  EXPECT_EQ(stats.covered_nodes, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_membership, 0.0);
+}
+
+TEST(CoverStats, OutOfRangeNodeThrows) {
+  const auto set = make_set(3, {{0, 99}});
+  EXPECT_THROW(compute_cover_stats(set, 5), Error);
+}
+
+TEST(CoverStats, OnRealCpmOutput) {
+  const Graph g = overlapping_cliques(5, 5, 3);
+  const CpmResult r = run_cpm(g);
+  const auto stats = compute_cover_stats(r.at(5), g.num_nodes());
+  EXPECT_EQ(stats.community_count, 2u);
+  EXPECT_EQ(stats.covered_nodes, 7u);
+  EXPECT_EQ(stats.overlapping_pairs, 1u);
+  EXPECT_EQ(stats.overlap_size_histogram[3], 1u);  // the 3 shared nodes
+  EXPECT_EQ(stats.membership_histogram[2], 3u);
+}
+
+TEST(CoverFraction, Values) {
+  const Graph g = overlapping_cliques(5, 5, 3);
+  const CpmResult r = run_cpm(g);
+  EXPECT_DOUBLE_EQ(cover_fraction(r.at(5), g.num_nodes()), 1.0);
+  EXPECT_DOUBLE_EQ(cover_fraction(r.at(5), 14), 0.5);
+  EXPECT_DOUBLE_EQ(cover_fraction(make_set(3, {}), 14), 0.0);
+  EXPECT_DOUBLE_EQ(cover_fraction(make_set(3, {}), 0), 0.0);
+}
+
+TEST(CoverStats, CompleteGraphEveryNodeOnce) {
+  const Graph g = complete_graph(8);
+  const CpmResult r = run_cpm(g);
+  for (std::size_t k = 2; k <= 8; ++k) {
+    const auto stats = compute_cover_stats(r.at(k), 8);
+    EXPECT_EQ(stats.covered_nodes, 8u);
+    EXPECT_DOUBLE_EQ(stats.mean_membership, 1.0);
+    EXPECT_EQ(stats.overlapping_pairs, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace kcc

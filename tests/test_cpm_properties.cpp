@@ -1,0 +1,153 @@
+// Property-based tests of the CPM engine, including the paper's Theorem 1
+// (nesting: every k-community lies in exactly one (k-1)-community).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "clique/reference_enumerator.h"
+#include "common/set_ops.h"
+#include "cpm/cpm.h"
+#include "test_helpers.h"
+
+namespace kcc {
+namespace {
+
+using testing::random_graph;
+
+struct GraphCase {
+  std::size_t n;
+  double p;        // edge probability; 0 selects preferential attachment
+  std::uint64_t seed;
+};
+
+class CpmProperty : public ::testing::TestWithParam<GraphCase> {
+ protected:
+  Graph graph() const {
+    const auto& c = GetParam();
+    if (c.p == 0.0) {
+      // Heavy-tailed case: BA graph with triangle-closing density via m=3.
+      return testing::preferential_attachment_graph(c.n, 3, c.seed);
+    }
+    return random_graph(c.n, c.p, c.seed);
+  }
+};
+
+// Theorem 1 (paper Sec. 3.1): each community at k is a subset of exactly one
+// community at k-1.
+TEST_P(CpmProperty, NestingTheorem) {
+  const Graph g = graph();
+  const CpmResult r = run_cpm(g);
+  for (std::size_t k = r.min_k + 1; k <= r.max_k; ++k) {
+    for (const Community& child : r.at(k).communities) {
+      std::size_t containing = 0;
+      for (const Community& parent : r.at(k - 1).communities) {
+        if (is_subset(child.nodes, parent.nodes)) ++containing;
+      }
+      EXPECT_EQ(containing, 1u)
+          << "community k" << k << "id" << child.id << " contained in "
+          << containing << " (k-1)-communities";
+    }
+  }
+}
+
+// Minimum size: a k-clique community has at least k members.
+TEST_P(CpmProperty, MinimumCommunitySize) {
+  const CpmResult r = run_cpm(graph());
+  for (std::size_t k = r.min_k; k <= r.max_k; ++k) {
+    for (const Community& c : r.at(k).communities) {
+      EXPECT_GE(c.size(), k);
+    }
+  }
+}
+
+// Every member node participates in at least one k-clique inside the
+// community (the community is a union of k-cliques).
+TEST_P(CpmProperty, EveryMemberIsInAKClique) {
+  const Graph g = graph();
+  const CpmResult r = run_cpm(g);
+  for (std::size_t k = r.min_k; k <= r.max_k; ++k) {
+    for (const Community& c : r.at(k).communities) {
+      for (NodeId v : c.nodes) {
+        // v must appear in one of the community's maximal cliques of
+        // size >= k.
+        bool found = false;
+        for (CliqueId cid : c.clique_ids) {
+          if (r.cliques[cid].size() >= k && contains(r.cliques[cid], v)) {
+            found = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(found) << "node " << v << " k " << k;
+      }
+    }
+  }
+}
+
+// Communities at the same k never share a k-clique: their clique id lists
+// are disjoint.
+TEST_P(CpmProperty, CommunitiesShareNoMaximalClique) {
+  const CpmResult r = run_cpm(graph());
+  for (std::size_t k = r.min_k; k <= r.max_k; ++k) {
+    std::vector<CliqueId> seen;
+    for (const Community& c : r.at(k).communities) {
+      for (CliqueId cid : c.clique_ids) seen.push_back(cid);
+    }
+    std::vector<CliqueId> unique = seen;
+    sort_unique(unique);
+    EXPECT_EQ(unique.size(), seen.size()) << "k " << k;
+  }
+}
+
+// Thread-count independence: identical output for 1, 2 and 8 threads.
+TEST_P(CpmProperty, ThreadCountInvariance) {
+  const Graph g = graph();
+  CpmOptions one, two, eight;
+  one.threads = 1;
+  two.threads = 2;
+  eight.threads = 8;
+  const CpmResult r1 = run_cpm(g, one);
+  const CpmResult r2 = run_cpm(g, two);
+  const CpmResult r8 = run_cpm(g, eight);
+  ASSERT_EQ(r1.max_k, r2.max_k);
+  ASSERT_EQ(r1.max_k, r8.max_k);
+  for (std::size_t k = r1.min_k; k <= r1.max_k; ++k) {
+    for (std::size_t i = 0; i < r1.at(k).count(); ++i) {
+      EXPECT_EQ(r1.at(k).communities[i].nodes, r2.at(k).communities[i].nodes);
+      EXPECT_EQ(r1.at(k).communities[i].nodes, r8.at(k).communities[i].nodes);
+    }
+  }
+}
+
+// Monotonicity: the union of all k-community members shrinks (weakly) as k
+// grows, because every k-community is inside a (k-1)-community.
+TEST_P(CpmProperty, MemberUnionShrinksWithK) {
+  const CpmResult r = run_cpm(graph());
+  NodeSet previous;
+  for (std::size_t k = r.min_k; k <= r.max_k; ++k) {
+    NodeSet members;
+    for (const Community& c : r.at(k).communities) {
+      members.insert(members.end(), c.nodes.begin(), c.nodes.end());
+    }
+    sort_unique(members);
+    if (k > r.min_k) {
+      EXPECT_TRUE(is_subset(members, previous)) << "k " << k;
+    }
+    previous = std::move(members);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, CpmProperty,
+    ::testing::Values(GraphCase{12, 0.30, 1}, GraphCase{16, 0.35, 2},
+                      GraphCase{20, 0.30, 3}, GraphCase{24, 0.25, 4},
+                      GraphCase{30, 0.20, 5}, GraphCase{40, 0.15, 6},
+                      GraphCase{25, 0.45, 7}, GraphCase{18, 0.50, 8},
+                      GraphCase{50, 0.12, 9}, GraphCase{60, 0.10, 10}));
+
+INSTANTIATE_TEST_SUITE_P(
+    ScaleFreeGraphs, CpmProperty,
+    ::testing::Values(GraphCase{40, 0.0, 21}, GraphCase{60, 0.0, 22},
+                      GraphCase{80, 0.0, 23}, GraphCase{120, 0.0, 24}));
+
+}  // namespace
+}  // namespace kcc

@@ -1,0 +1,94 @@
+// Integration: a generated ecosystem written through io/ and read back must
+// reproduce the identical analysis (this is the workflow of a user running
+// the pipeline on on-disk datasets).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "cpm/cpm.h"
+#include "io/dataset_io.h"
+#include "io/edge_list.h"
+#include "synth/as_topology.h"
+
+namespace kcc {
+namespace {
+
+struct RoundTripped {
+  LabeledGraph topology;
+  IxpDataset ixps;
+  GeoDataset geo;
+};
+
+RoundTripped round_trip(const AsEcosystem& eco) {
+  std::stringstream edges, ixps, countries, geo;
+  write_edge_list(edges, eco.topology);
+  write_ixp_dataset(ixps, eco.ixps, eco.topology);
+  write_geo_dataset(countries, geo, eco.geo, eco.topology);
+
+  RoundTripped out;
+  out.topology = read_edge_list(edges);
+  out.ixps = read_ixp_dataset(ixps, out.topology);
+  out.geo = read_geo_dataset(countries, geo, out.topology);
+  return out;
+}
+
+const AsEcosystem& eco() {
+  static const AsEcosystem e = [] {
+    SynthParams params = SynthParams::test_scale();
+    params.seed = 99;
+    return generate_ecosystem(params);
+  }();
+  return e;
+}
+
+TEST(DatasetRoundTrip, TopologyIdentical) {
+  const RoundTripped loaded = round_trip(eco());
+  // The generated labels are 1..n in node order, so dense ids are stable.
+  EXPECT_EQ(loaded.topology.labels, eco().topology.labels);
+  EXPECT_EQ(loaded.topology.graph.edges(), eco().topology.graph.edges());
+}
+
+TEST(DatasetRoundTrip, IxpsIdentical) {
+  const RoundTripped loaded = round_trip(eco());
+  ASSERT_EQ(loaded.ixps.count(), eco().ixps.count());
+  for (IxpId i = 0; i < loaded.ixps.count(); ++i) {
+    EXPECT_EQ(loaded.ixps.ixp(i).name, eco().ixps.ixp(i).name);
+    EXPECT_EQ(loaded.ixps.ixp(i).country, eco().ixps.ixp(i).country);
+    EXPECT_EQ(loaded.ixps.ixp(i).participants,
+              eco().ixps.ixp(i).participants);
+  }
+}
+
+TEST(DatasetRoundTrip, GeoIdentical) {
+  const RoundTripped loaded = round_trip(eco());
+  EXPECT_EQ(loaded.geo.known_node_count(), eco().geo.known_node_count());
+  for (NodeId v = 0; v < eco().num_ases(); ++v) {
+    const auto& original = eco().geo.locations_of(v);
+    const auto& reloaded = loaded.geo.locations_of(v);
+    ASSERT_EQ(original.size(), reloaded.size()) << "node " << v;
+    for (std::size_t i = 0; i < original.size(); ++i) {
+      EXPECT_EQ(eco().geo.country(original[i]).code,
+                loaded.geo.country(reloaded[i]).code);
+    }
+  }
+}
+
+TEST(DatasetRoundTrip, CpmResultsIdentical) {
+  const RoundTripped loaded = round_trip(eco());
+  CpmOptions options;
+  options.max_k = 8;  // bounded for test speed
+  const CpmResult original = run_cpm(eco().topology.graph, options);
+  const CpmResult reloaded = run_cpm(loaded.topology.graph, options);
+  ASSERT_EQ(original.max_k, reloaded.max_k);
+  for (std::size_t k = original.min_k; k <= original.max_k; ++k) {
+    ASSERT_EQ(original.at(k).count(), reloaded.at(k).count()) << "k " << k;
+    for (std::size_t i = 0; i < original.at(k).count(); ++i) {
+      EXPECT_EQ(original.at(k).communities[i].nodes,
+                reloaded.at(k).communities[i].nodes);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kcc

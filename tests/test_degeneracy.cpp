@@ -1,0 +1,124 @@
+#include "graph/degeneracy.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace kcc {
+namespace {
+
+using testing::complete_graph;
+using testing::cycle_graph;
+using testing::make_graph;
+using testing::random_graph;
+
+// Oracle: naive repeated minimum-degree peeling for core numbers.
+std::vector<std::uint32_t> naive_core_numbers(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  std::vector<std::uint32_t> degree(n), core(n, 0);
+  std::vector<bool> removed(n, false);
+  for (NodeId v = 0; v < n; ++v) {
+    degree[v] = static_cast<std::uint32_t>(g.degree(v));
+  }
+  std::uint32_t current = 0;
+  for (std::size_t step = 0; step < n; ++step) {
+    NodeId best = 0;
+    std::uint32_t best_deg = std::numeric_limits<std::uint32_t>::max();
+    for (NodeId v = 0; v < n; ++v) {
+      if (!removed[v] && degree[v] < best_deg) {
+        best = v;
+        best_deg = degree[v];
+      }
+    }
+    current = std::max(current, best_deg);
+    core[best] = current;
+    removed[best] = true;
+    for (NodeId w : g.neighbors(best)) {
+      if (!removed[w] && degree[w] > 0) --degree[w];
+    }
+  }
+  return core;
+}
+
+TEST(Degeneracy, CompleteGraph) {
+  const auto r = degeneracy_order(complete_graph(6));
+  EXPECT_EQ(r.degeneracy, 5u);
+  for (auto c : r.core_number) EXPECT_EQ(c, 5u);
+}
+
+TEST(Degeneracy, Cycle) {
+  const auto r = degeneracy_order(cycle_graph(8));
+  EXPECT_EQ(r.degeneracy, 2u);
+}
+
+TEST(Degeneracy, Tree) {
+  const Graph g = make_graph(7, {{0, 1}, {0, 2}, {1, 3}, {1, 4}, {2, 5}, {2, 6}});
+  const auto r = degeneracy_order(g);
+  EXPECT_EQ(r.degeneracy, 1u);
+}
+
+TEST(Degeneracy, EmptyAndIsolated) {
+  EXPECT_EQ(degeneracy_order(Graph{}).degeneracy, 0u);
+  GraphBuilder b;
+  b.ensure_nodes(4);
+  const auto r = degeneracy_order(b.build());
+  EXPECT_EQ(r.degeneracy, 0u);
+  EXPECT_EQ(r.order.size(), 4u);
+}
+
+TEST(Degeneracy, OrderIsPermutationAndPositionsConsistent) {
+  const Graph g = random_graph(50, 0.15, 3);
+  const auto r = degeneracy_order(g);
+  std::vector<bool> seen(50, false);
+  for (NodeId v : r.order) {
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+  for (std::uint32_t pos = 0; pos < r.order.size(); ++pos) {
+    EXPECT_EQ(r.position_of[r.order[pos]], pos);
+  }
+}
+
+// Degeneracy ordering invariant: each node has at most `degeneracy`
+// neighbours later in the order.
+TEST(Degeneracy, LaterNeighborsBounded) {
+  const Graph g = random_graph(60, 0.2, 11);
+  const auto r = degeneracy_order(g);
+  for (NodeId v : r.order) {
+    std::size_t later = 0;
+    for (NodeId w : g.neighbors(v)) {
+      if (r.position_of[w] > r.position_of[v]) ++later;
+    }
+    EXPECT_LE(later, r.degeneracy);
+  }
+}
+
+TEST(Degeneracy, CoreNumbersMatchNaivePeeling) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Graph g = random_graph(40, 0.12 + 0.04 * double(seed), seed);
+    const auto fast = degeneracy_order(g);
+    const auto naive = naive_core_numbers(g);
+    EXPECT_EQ(fast.core_number, naive) << "seed " << seed;
+  }
+}
+
+TEST(Degeneracy, KCoreMembershipProperty) {
+  // Every node of the k-core has >= k neighbours inside the k-core.
+  const Graph g = random_graph(80, 0.1, 21);
+  const auto r = degeneracy_order(g);
+  for (std::uint32_t k = 1; k <= r.degeneracy; ++k) {
+    std::vector<bool> in_core(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      in_core[v] = r.core_number[v] >= k;
+    }
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (!in_core[v]) continue;
+      std::size_t inside = 0;
+      for (NodeId w : g.neighbors(v)) inside += in_core[w] ? 1 : 0;
+      EXPECT_GE(inside, k) << "node " << v << " k " << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kcc

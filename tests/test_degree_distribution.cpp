@@ -1,0 +1,75 @@
+#include "graph/degree_distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "synth/as_topology.h"
+#include "test_helpers.h"
+
+namespace kcc {
+namespace {
+
+using testing::complete_graph;
+using testing::make_graph;
+
+TEST(DegreeDistribution, Histogram) {
+  const Graph g = make_graph(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  const auto histogram = degree_histogram(g);
+  ASSERT_EQ(histogram.size(), 5u);
+  EXPECT_EQ(histogram[1], 4u);
+  EXPECT_EQ(histogram[4], 1u);
+  EXPECT_EQ(histogram[0], 0u);
+}
+
+TEST(DegreeDistribution, HistogramEmptyGraph) {
+  const auto histogram = degree_histogram(Graph{});
+  ASSERT_EQ(histogram.size(), 1u);
+  EXPECT_EQ(histogram[0], 0u);
+}
+
+TEST(DegreeDistribution, Ccdf) {
+  const Graph g = make_graph(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  const auto ccdf = degree_ccdf(g);
+  EXPECT_DOUBLE_EQ(ccdf[0], 1.0);
+  EXPECT_DOUBLE_EQ(ccdf[1], 1.0);  // everyone has degree >= 1
+  EXPECT_DOUBLE_EQ(ccdf[2], 0.2);  // only the hub
+  EXPECT_DOUBLE_EQ(ccdf[4], 0.2);
+  // Monotone non-increasing.
+  for (std::size_t d = 1; d < ccdf.size(); ++d) {
+    EXPECT_LE(ccdf[d], ccdf[d - 1]);
+  }
+}
+
+TEST(DegreeDistribution, PowerLawFitEstimator) {
+  // Closed form on a regular graph: every degree is 5, x_min = 2, so
+  // alpha = 1 + 1 / ln(5 / 1.5).
+  const PowerLawFit fit = fit_power_law(complete_graph(6), 2);
+  EXPECT_EQ(fit.tail_size, 6u);
+  EXPECT_NEAR(fit.alpha, 1.0 + 1.0 / std::log(5.0 / 1.5), 1e-12);
+
+  EXPECT_THROW(fit_power_law(Graph{}, 2), Error);          // no tail
+  EXPECT_THROW(fit_power_law(complete_graph(6), 0), Error);  // bad x_min
+  EXPECT_THROW(fit_power_law(complete_graph(6), 6), Error);  // empty tail
+}
+
+TEST(DegreeDistribution, FitRecoversHeavyTailOfEcosystem) {
+  const AsEcosystem eco = generate_ecosystem(SynthParams::test_scale());
+  const PowerLawFit fit = fit_power_law(eco.topology.graph, 3);
+  EXPECT_GT(fit.tail_size, 50u);
+  // Internet AS degree exponents are reported around 2.1; the generator
+  // lands in the plausible heavy-tail window.
+  EXPECT_GT(fit.alpha, 1.5);
+  EXPECT_LT(fit.alpha, 3.5);
+}
+
+TEST(DegreeDistribution, HigherXminUsesSmallerTail) {
+  const AsEcosystem eco = generate_ecosystem(SynthParams::test_scale());
+  const PowerLawFit low = fit_power_law(eco.topology.graph, 2);
+  const PowerLawFit high = fit_power_law(eco.topology.graph, 10);
+  EXPECT_GT(low.tail_size, high.tail_size);
+}
+
+}  // namespace
+}  // namespace kcc

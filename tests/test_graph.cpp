@@ -1,0 +1,114 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "test_helpers.h"
+
+namespace kcc {
+namespace {
+
+using testing::complete_graph;
+using testing::make_graph;
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_DOUBLE_EQ(g.density(), 0.0);
+  EXPECT_EQ(g.max_degree(), 0u);
+}
+
+TEST(Graph, BasicConstruction) {
+  const Graph g = make_graph(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(3), 1u);
+}
+
+TEST(Graph, DuplicateEdgesMerged) {
+  const Graph g = make_graph(3, {{0, 1}, {1, 0}, {0, 1}, {1, 2}});
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(Graph, SelfLoopRejected) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.add_edge(1, 1), Error);
+}
+
+TEST(Graph, NeighborsSorted) {
+  const Graph g = make_graph(6, {{3, 0}, {3, 5}, {3, 1}, {3, 4}, {3, 2}});
+  const auto adj = g.neighbors(3);
+  ASSERT_EQ(adj.size(), 5u);
+  for (std::size_t i = 1; i < adj.size(); ++i) {
+    EXPECT_LT(adj[i - 1], adj[i]);
+  }
+}
+
+TEST(Graph, BuilderGrowsNodes) {
+  GraphBuilder b;
+  b.add_edge(0, 9);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_nodes(), 10u);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Graph, EnsureNodesAddsIsolated) {
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  b.ensure_nodes(5);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.degree(4), 0u);
+}
+
+TEST(Graph, EdgesCanonicalOrder) {
+  const Graph g = make_graph(4, {{2, 1}, {3, 0}, {0, 1}});
+  const auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], std::make_pair(NodeId{0}, NodeId{1}));
+  EXPECT_EQ(edges[1], std::make_pair(NodeId{0}, NodeId{3}));
+  EXPECT_EQ(edges[2], std::make_pair(NodeId{1}, NodeId{2}));
+}
+
+TEST(Graph, DensityOfCompleteGraph) {
+  EXPECT_DOUBLE_EQ(complete_graph(5).density(), 1.0);
+  EXPECT_DOUBLE_EQ(make_graph(4, {{0, 1}}).density(), 1.0 / 6.0);
+}
+
+TEST(Graph, MaxDegree) {
+  const Graph g = make_graph(5, {{0, 1}, {0, 2}, {0, 3}, {1, 2}});
+  EXPECT_EQ(g.max_degree(), 3u);
+}
+
+TEST(Graph, FromEdgesMatchesBuilder) {
+  const std::vector<std::pair<NodeId, NodeId>> edges{{0, 1}, {2, 1}, {0, 2}};
+  const Graph g = Graph::from_edges(3, edges);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.has_edge(2, 0));
+}
+
+TEST(Graph, HasEdgeOutOfRangeIsFalse) {
+  const Graph g = make_graph(2, {{0, 1}});
+  EXPECT_FALSE(g.has_edge(0, 7));
+  EXPECT_FALSE(g.has_edge(7, 0));
+  EXPECT_FALSE(g.has_edge(1, 1));
+}
+
+TEST(Graph, LargeStarDegrees) {
+  GraphBuilder b;
+  for (NodeId i = 1; i <= 1000; ++i) b.add_edge(0, i);
+  const Graph g = b.build();
+  EXPECT_EQ(g.degree(0), 1000u);
+  EXPECT_EQ(g.max_degree(), 1000u);
+  EXPECT_EQ(g.num_edges(), 1000u);
+}
+
+}  // namespace
+}  // namespace kcc

@@ -1,0 +1,102 @@
+#include "graph/graph_algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "test_helpers.h"
+
+namespace kcc {
+namespace {
+
+using testing::complete_graph;
+using testing::cycle_graph;
+using testing::make_graph;
+
+TEST(ConnectedComponents, SingleComponent) {
+  const auto labels = connected_components(cycle_graph(5));
+  EXPECT_EQ(labels.count, 1u);
+  for (auto c : labels.component_of) EXPECT_EQ(c, 0u);
+}
+
+TEST(ConnectedComponents, MultipleComponentsDeterministicIds) {
+  // {0,1}, {2,3,4}, isolated {5}
+  const Graph g = make_graph(6, {{0, 1}, {2, 3}, {3, 4}});
+  const auto labels = connected_components(g);
+  EXPECT_EQ(labels.count, 3u);
+  EXPECT_EQ(labels.component_of[0], 0u);
+  EXPECT_EQ(labels.component_of[1], 0u);
+  EXPECT_EQ(labels.component_of[2], 1u);
+  EXPECT_EQ(labels.component_of[4], 1u);
+  EXPECT_EQ(labels.component_of[5], 2u);
+  const auto sizes = labels.sizes();
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{2, 3, 1}));
+}
+
+TEST(ConnectedComponents, EmptyGraph) {
+  const auto labels = connected_components(Graph{});
+  EXPECT_EQ(labels.count, 0u);
+  EXPECT_TRUE(labels.component_of.empty());
+}
+
+TEST(LargestComponent, PicksBiggest) {
+  const Graph g = make_graph(7, {{0, 1}, {2, 3}, {3, 4}, {4, 5}});
+  EXPECT_EQ(largest_component(g), (NodeSet{2, 3, 4, 5}));
+}
+
+TEST(LargestComponent, EmptyGraph) {
+  EXPECT_TRUE(largest_component(Graph{}).empty());
+}
+
+TEST(BfsDistances, PathGraph) {
+  const Graph g = make_graph(4, {{0, 1}, {1, 2}, {2, 3}});
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], 2u);
+  EXPECT_EQ(dist[3], 3u);
+}
+
+TEST(BfsDistances, UnreachableIsInfinity) {
+  const Graph g = make_graph(3, {{0, 1}});
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[2], std::numeric_limits<std::uint32_t>::max());
+}
+
+TEST(BfsDistances, BadSourceThrows) {
+  const Graph g = make_graph(2, {{0, 1}});
+  EXPECT_THROW(bfs_distances(g, 5), Error);
+}
+
+TEST(DegreeStats, CompleteGraph) {
+  const auto s = degree_stats(complete_graph(6));
+  EXPECT_EQ(s.min, 5u);
+  EXPECT_EQ(s.max, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+}
+
+TEST(DegreeStats, Star) {
+  const Graph g = make_graph(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  const auto s = degree_stats(g);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 8.0 / 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 1.0);
+}
+
+TEST(DegreeStats, EmptyGraph) {
+  const auto s = degree_stats(Graph{});
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 0u);
+}
+
+TEST(MeanDegree, SubsetOfNodes) {
+  const Graph g = make_graph(4, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_DOUBLE_EQ(mean_degree(g, {0}), 3.0);
+  EXPECT_DOUBLE_EQ(mean_degree(g, {1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(mean_degree(g, {}), 0.0);
+  EXPECT_THROW(mean_degree(g, {9}), Error);
+}
+
+}  // namespace
+}  // namespace kcc

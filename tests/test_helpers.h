@@ -1,0 +1,98 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <initializer_list>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace kcc::testing {
+
+/// Builds a graph from an explicit edge list.
+inline Graph make_graph(std::size_t n,
+                        std::initializer_list<std::pair<NodeId, NodeId>> edges) {
+  return Graph::from_edges(n, std::vector<std::pair<NodeId, NodeId>>(edges));
+}
+
+/// Complete graph on n nodes.
+inline Graph complete_graph(std::size_t n) {
+  GraphBuilder b(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) b.add_edge(i, j);
+  }
+  b.ensure_nodes(n);
+  return b.build();
+}
+
+/// Cycle graph on n nodes.
+inline Graph cycle_graph(std::size_t n) {
+  GraphBuilder b(n);
+  for (NodeId i = 0; i < n; ++i) {
+    b.add_edge(i, static_cast<NodeId>((i + 1) % n));
+  }
+  return b.build();
+}
+
+/// Erdős–Rényi G(n, p), deterministic in seed.
+inline Graph random_graph(std::size_t n, double p, std::uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder b(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      if (rng.next_bool(p)) b.add_edge(i, j);
+    }
+  }
+  b.ensure_nodes(n);
+  return b.build();
+}
+
+/// Barabási–Albert-style preferential attachment: each new node attaches
+/// `m` edges to degree-weighted targets. Deterministic in seed.
+inline Graph preferential_attachment_graph(std::size_t n, std::size_t m,
+                                           std::uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder b(n);
+  std::vector<NodeId> pool;
+  // Seed star on the first m+1 nodes.
+  for (NodeId v = 1; v <= m && v < n; ++v) {
+    b.add_edge(0, v);
+    pool.push_back(0);
+    pool.push_back(v);
+  }
+  for (NodeId v = static_cast<NodeId>(m + 1); v < n; ++v) {
+    for (std::size_t e = 0; e < m; ++e) {
+      const NodeId target = pool[rng.next_below(pool.size())];
+      if (target != v) {
+        b.add_edge(v, target);
+        pool.push_back(target);
+        pool.push_back(v);
+      }
+    }
+  }
+  b.ensure_nodes(n);
+  return b.build();
+}
+
+/// Two cliques of sizes a and b sharing `shared` nodes (nodes 0..shared-1).
+inline Graph overlapping_cliques(std::size_t a, std::size_t b,
+                                 std::size_t shared) {
+  GraphBuilder builder;
+  auto mesh = [&](NodeId lo, NodeId hi, NodeId shared_hi) {
+    std::vector<NodeId> nodes;
+    for (NodeId v = 0; v < shared_hi; ++v) nodes.push_back(v);
+    for (NodeId v = lo; v < hi; ++v) nodes.push_back(v);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+        builder.add_edge(nodes[i], nodes[j]);
+      }
+    }
+  };
+  const NodeId s = static_cast<NodeId>(shared);
+  mesh(s, static_cast<NodeId>(a), s);                        // clique A
+  mesh(static_cast<NodeId>(a), static_cast<NodeId>(a + b - shared), s);  // B
+  return builder.build();
+}
+
+}  // namespace kcc::testing

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+#include "io/dataset_io.h"
+#include "io/dot_export.h"
+#include "io/edge_list.h"
+#include "test_helpers.h"
+
+namespace kcc {
+namespace {
+
+TEST(EdgeList, ReadsSimpleFile) {
+  std::istringstream in(
+      "# AS-level topology\n"
+      "100 200\n"
+      "200 300\n"
+      "\n"
+      "100 300  # triangle closes\n");
+  const LabeledGraph g = read_edge_list(in);
+  EXPECT_EQ(g.graph.num_nodes(), 3u);
+  EXPECT_EQ(g.graph.num_edges(), 3u);
+  EXPECT_EQ(g.labels, (std::vector<std::uint64_t>{100, 200, 300}));
+  EXPECT_TRUE(g.graph.has_edge(g.node_of(100), g.node_of(300)));
+}
+
+TEST(EdgeList, DropsSelfLoopsAndDuplicates) {
+  std::istringstream in("1 1\n1 2\n2 1\n1 2\n");
+  const LabeledGraph g = read_edge_list(in);
+  EXPECT_EQ(g.graph.num_edges(), 1u);
+  EXPECT_EQ(g.graph.num_nodes(), 2u);
+}
+
+TEST(EdgeList, MalformedLineThrows) {
+  std::istringstream missing("1\n");
+  EXPECT_THROW(read_edge_list(missing), Error);
+  std::istringstream trailing("1 2 3\n");
+  EXPECT_THROW(read_edge_list(trailing), Error);
+}
+
+TEST(EdgeList, UnknownLabelThrows) {
+  std::istringstream in("1 2\n");
+  const LabeledGraph g = read_edge_list(in);
+  EXPECT_THROW(g.node_of(7), Error);
+}
+
+TEST(EdgeList, RoundTrip) {
+  std::istringstream in("10 20\n20 30\n10 40\n");
+  const LabeledGraph g = read_edge_list(in);
+  std::ostringstream out;
+  write_edge_list(out, g);
+  std::istringstream in2(out.str());
+  const LabeledGraph g2 = read_edge_list(in2);
+  EXPECT_EQ(g.labels, g2.labels);
+  EXPECT_EQ(g.graph.edges(), g2.graph.edges());
+}
+
+TEST(EdgeList, MissingFileThrows) {
+  EXPECT_THROW(read_edge_list_file("/nonexistent/path/graph.txt"), Error);
+}
+
+TEST(EdgeList, IdentityLabels) {
+  const LabeledGraph g = with_identity_labels(testing::complete_graph(4));
+  EXPECT_EQ(g.labels, (std::vector<std::uint64_t>{0, 1, 2, 3}));
+  EXPECT_EQ(g.node_of(2), 2u);
+}
+
+LabeledGraph five_node_graph() {
+  std::istringstream in("1 2\n2 3\n3 4\n4 5\n");
+  return read_edge_list(in);
+}
+
+TEST(IxpIo, ReadAndWrite) {
+  const LabeledGraph g = five_node_graph();
+  std::istringstream in(
+      "# name country members\n"
+      "AMSIX NL 1,2,3\n"
+      "WIX NZ 4,5\n");
+  const IxpDataset ixps = read_ixp_dataset(in, g);
+  ASSERT_EQ(ixps.count(), 2u);
+  EXPECT_EQ(ixps.ixp(0).name, "AMSIX");
+  EXPECT_EQ(ixps.ixp(0).country, "NL");
+  EXPECT_EQ(ixps.ixp(0).participants.size(), 3u);
+  EXPECT_TRUE(ixps.is_on_ixp(g.node_of(4)));
+
+  std::ostringstream out;
+  write_ixp_dataset(out, ixps, g);
+  std::istringstream in2(out.str());
+  const IxpDataset round = read_ixp_dataset(in2, g);
+  EXPECT_EQ(round.count(), 2u);
+  EXPECT_EQ(round.ixp(1).participants, ixps.ixp(1).participants);
+}
+
+TEST(IxpIo, MalformedThrows) {
+  const LabeledGraph g = five_node_graph();
+  std::istringstream missing_members("AMSIX NL\n");
+  EXPECT_THROW(read_ixp_dataset(missing_members, g), Error);
+  std::istringstream bad_number("AMSIX NL 1,x\n");
+  EXPECT_THROW(read_ixp_dataset(bad_number, g), Error);
+  std::istringstream unknown_as("AMSIX NL 99\n");
+  EXPECT_THROW(read_ixp_dataset(unknown_as, g), Error);
+}
+
+TEST(GeoIo, ReadAndWrite) {
+  const LabeledGraph g = five_node_graph();
+  std::istringstream countries(
+      "NL EU\n"
+      "US NA\n");
+  std::istringstream geo_lines(
+      "1 NL\n"
+      "2 NL,US\n"
+      "3 US\n");
+  const GeoDataset geo = read_geo_dataset(countries, geo_lines, g);
+  EXPECT_EQ(geo.country_count(), 2u);
+  EXPECT_EQ(geo.locations_of(g.node_of(2)).size(), 2u);
+  EXPECT_TRUE(geo.locations_of(g.node_of(4)).empty());
+  EXPECT_EQ(geo.known_node_count(), 3u);
+
+  std::ostringstream countries_out, geo_out;
+  write_geo_dataset(countries_out, geo_out, geo, g);
+  std::istringstream countries_in2(countries_out.str());
+  std::istringstream geo_in2(geo_out.str());
+  const GeoDataset round = read_geo_dataset(countries_in2, geo_in2, g);
+  EXPECT_EQ(round.known_node_count(), 3u);
+  EXPECT_EQ(round.locations_of(g.node_of(2)),
+            geo.locations_of(g.node_of(2)));
+}
+
+TEST(GeoIo, UnknownCountryThrows) {
+  const LabeledGraph g = five_node_graph();
+  std::istringstream countries("NL EU\n");
+  std::istringstream geo_lines("1 XX\n");
+  EXPECT_THROW(read_geo_dataset(countries, geo_lines, g), Error);
+}
+
+TEST(GraphDot, ContainsAllEdges) {
+  std::ostringstream os;
+  write_graph_dot(os, testing::make_graph(3, {{0, 1}, {1, 2}}));
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("n0 -- n1"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -- n2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kcc

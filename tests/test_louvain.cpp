@@ -1,0 +1,123 @@
+#include "baselines/louvain.h"
+
+#include <gtest/gtest.h>
+
+#include "metrics/modularity.h"
+#include "test_helpers.h"
+
+namespace kcc {
+namespace {
+
+using testing::complete_graph;
+using testing::make_graph;
+using testing::random_graph;
+
+TEST(Modularity, SingleCommunityIsZero) {
+  const Graph g = complete_graph(5);
+  const std::vector<std::uint32_t> all_one(5, 0);
+  EXPECT_NEAR(modularity(g, all_one), 0.0, 1e-12);
+}
+
+TEST(Modularity, PerfectTwoCliqueSplit) {
+  // Two K4s joined by one edge: the natural split has high modularity.
+  GraphBuilder b;
+  for (NodeId i = 0; i < 4; ++i) {
+    for (NodeId j = i + 1; j < 4; ++j) b.add_edge(i, j);
+  }
+  for (NodeId i = 4; i < 8; ++i) {
+    for (NodeId j = i + 1; j < 8; ++j) b.add_edge(i, j);
+  }
+  b.add_edge(3, 4);
+  const Graph g = b.build();
+  std::vector<std::uint32_t> split{0, 0, 0, 0, 1, 1, 1, 1};
+  const double q_split = modularity(g, split);
+  const std::vector<std::uint32_t> merged(8, 0);
+  EXPECT_GT(q_split, 0.3);
+  EXPECT_GT(q_split, modularity(g, merged));
+  // Singletons are worse than the good split.
+  std::vector<std::uint32_t> singletons{0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_GT(q_split, modularity(g, singletons));
+}
+
+TEST(Modularity, LabelMismatchThrows) {
+  EXPECT_THROW(modularity(complete_graph(3), {0, 0}), Error);
+}
+
+TEST(Modularity, EdgelessGraph) {
+  GraphBuilder b;
+  b.ensure_nodes(4);
+  EXPECT_DOUBLE_EQ(modularity(b.build(), {0, 1, 2, 3}), 0.0);
+}
+
+TEST(PartitionToCover, GroupsByLabel) {
+  const auto cover = partition_to_cover({0, 1, 0, 2, 1});
+  ASSERT_EQ(cover.size(), 3u);
+  EXPECT_EQ(cover[0], (NodeSet{0, 2}));
+  EXPECT_EQ(cover[1], (NodeSet{1, 4}));
+  EXPECT_EQ(cover[2], (NodeSet{3}));
+}
+
+TEST(Louvain, RecoversTwoCliques) {
+  GraphBuilder b;
+  for (NodeId i = 0; i < 5; ++i) {
+    for (NodeId j = i + 1; j < 5; ++j) b.add_edge(i, j);
+  }
+  for (NodeId i = 5; i < 10; ++i) {
+    for (NodeId j = i + 1; j < 10; ++j) b.add_edge(i, j);
+  }
+  b.add_edge(4, 5);
+  const Graph g = b.build();
+  const LouvainResult result = louvain_communities(g);
+  EXPECT_EQ(result.community_count, 2u);
+  const auto cover = partition_to_cover(result.community_of);
+  EXPECT_EQ(cover[0], (NodeSet{0, 1, 2, 3, 4}));
+  EXPECT_EQ(cover[1], (NodeSet{5, 6, 7, 8, 9}));
+  EXPECT_GT(result.modularity, 0.3);
+}
+
+TEST(Louvain, EdgelessGraphIsSingletons) {
+  GraphBuilder b;
+  b.ensure_nodes(5);
+  const LouvainResult result = louvain_communities(b.build());
+  EXPECT_EQ(result.community_count, 5u);
+  EXPECT_DOUBLE_EQ(result.modularity, 0.0);
+}
+
+TEST(Louvain, ModularityMatchesMetric) {
+  const Graph g = random_graph(60, 0.1, 4);
+  const LouvainResult result = louvain_communities(g);
+  EXPECT_NEAR(result.modularity, modularity(g, result.community_of), 1e-9);
+}
+
+TEST(Louvain, BeatsTrivialPartitions) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Graph g = random_graph(50, 0.12, seed);
+    const LouvainResult result = louvain_communities(g);
+    const std::vector<std::uint32_t> merged(g.num_nodes(), 0);
+    std::vector<std::uint32_t> singletons(g.num_nodes());
+    for (std::uint32_t v = 0; v < g.num_nodes(); ++v) singletons[v] = v;
+    EXPECT_GE(result.modularity, modularity(g, merged) - 1e-12);
+    EXPECT_GE(result.modularity, modularity(g, singletons) - 1e-12);
+  }
+}
+
+TEST(Louvain, Deterministic) {
+  const Graph g = random_graph(80, 0.08, 9);
+  const LouvainResult a = louvain_communities(g);
+  const LouvainResult b = louvain_communities(g);
+  EXPECT_EQ(a.community_of, b.community_of);
+  EXPECT_DOUBLE_EQ(a.modularity, b.modularity);
+}
+
+TEST(Louvain, PartitionCoversEveryNodeOnce) {
+  const Graph g = random_graph(70, 0.1, 2);
+  const LouvainResult result = louvain_communities(g);
+  ASSERT_EQ(result.community_of.size(), g.num_nodes());
+  const auto cover = partition_to_cover(result.community_of);
+  std::size_t total = 0;
+  for (const auto& c : cover) total += c.size();
+  EXPECT_EQ(total, g.num_nodes());
+}
+
+}  // namespace
+}  // namespace kcc

@@ -1,0 +1,125 @@
+#include "metrics/community_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "cpm/cpm.h"
+#include "test_helpers.h"
+
+namespace kcc {
+namespace {
+
+using testing::complete_graph;
+using testing::make_graph;
+using testing::overlapping_cliques;
+
+TEST(LinkDensity, CliqueIsOne) {
+  const Graph g = complete_graph(6);
+  EXPECT_DOUBLE_EQ(link_density(g, {0, 1, 2, 3, 4, 5}), 1.0);
+  EXPECT_DOUBLE_EQ(link_density(g, {0, 3}), 1.0);
+}
+
+TEST(LinkDensity, SmallSetsAreZero) {
+  const Graph g = complete_graph(4);
+  EXPECT_DOUBLE_EQ(link_density(g, {}), 0.0);
+  EXPECT_DOUBLE_EQ(link_density(g, {2}), 0.0);
+}
+
+TEST(LinkDensity, PathGraph) {
+  const Graph g = make_graph(4, {{0, 1}, {1, 2}, {2, 3}});
+  // 3 edges of 6 possible.
+  EXPECT_DOUBLE_EQ(link_density(g, {0, 1, 2, 3}), 0.5);
+}
+
+TEST(InternalDegree, CountsOnlyMembers) {
+  // Star: 0 connected to 1..4.
+  const Graph g = make_graph(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  EXPECT_EQ(internal_degree(g, 0, {0, 1, 2}), 2u);
+  EXPECT_EQ(internal_degree(g, 1, {0, 1, 2}), 1u);
+  EXPECT_EQ(internal_degree(g, 1, {1, 2}), 0u);
+}
+
+TEST(Odf, InternalPlusOutIsOne) {
+  const Graph g = make_graph(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 2}});
+  const NodeSet community{0, 1, 2};
+  for (NodeId v : community) {
+    EXPECT_DOUBLE_EQ(internal_degree_fraction(g, v, community) +
+                         out_degree_fraction(g, v, community),
+                     1.0);
+  }
+}
+
+TEST(Odf, IsolatedCommunityHasZeroOdf) {
+  const Graph g = complete_graph(4);
+  EXPECT_DOUBLE_EQ(average_odf(g, {0, 1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(average_internal_fraction(g, {0, 1, 2, 3}), 1.0);
+}
+
+TEST(Odf, Tier1LikeCommunityHasHighOdf) {
+  // 3-clique where each member also has 7 external customers.
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(1, 2);
+  NodeId next = 3;
+  for (NodeId hub = 0; hub < 3; ++hub) {
+    for (int i = 0; i < 7; ++i) b.add_edge(hub, next++);
+  }
+  const Graph g = b.build();
+  const double odf = average_odf(g, {0, 1, 2});
+  EXPECT_NEAR(odf, 7.0 / 9.0, 1e-12);
+}
+
+TEST(Odf, DegreeZeroNodeReportsZero) {
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  b.ensure_nodes(3);
+  const Graph g = b.build();
+  EXPECT_DOUBLE_EQ(out_degree_fraction(g, 2, {2}), 0.0);
+  EXPECT_DOUBLE_EQ(internal_degree_fraction(g, 2, {2}), 0.0);
+}
+
+TEST(Odf, EmptySetAverages) {
+  const Graph g = complete_graph(3);
+  EXPECT_DOUBLE_EQ(average_odf(g, {}), 0.0);
+  EXPECT_DOUBLE_EQ(average_internal_fraction(g, {}), 0.0);
+}
+
+TEST(ComputeMetrics, PerCommunityBundle) {
+  const Graph g = overlapping_cliques(5, 5, 3);
+  const CpmResult r = run_cpm(g);
+  const auto metrics = compute_metrics(g, r.at(5));
+  ASSERT_EQ(metrics.size(), 2u);
+  for (const auto& m : metrics) {
+    EXPECT_EQ(m.k, 5u);
+    EXPECT_EQ(m.size, 5u);
+    EXPECT_DOUBLE_EQ(m.density, 1.0);  // each 5-community is a clique
+    EXPECT_GT(m.avg_odf, 0.0);         // shared nodes have external links
+  }
+  // ids align with the community set.
+  EXPECT_EQ(metrics[0].id, 0u);
+  EXPECT_EQ(metrics[1].id, 1u);
+}
+
+TEST(ComputeMetrics, DensityDropsForChainCommunities) {
+  // A k=3 community made of a long triangle chain has low density.
+  GraphBuilder b;
+  for (NodeId i = 0; i + 2 < 20; ++i) {
+    b.add_edge(i, i + 1);
+    b.add_edge(i, i + 2);
+    b.add_edge(i + 1, i + 2);
+  }
+  const Graph g = b.build();
+  const CpmResult r = run_cpm(g);
+  const auto metrics = compute_metrics(g, r.at(3));
+  ASSERT_EQ(metrics.size(), 1u);
+  EXPECT_EQ(metrics[0].size, 20u);
+  EXPECT_LT(metrics[0].density, 0.35);
+}
+
+TEST(InternalDegree, OutOfRangeThrows) {
+  const Graph g = complete_graph(3);
+  EXPECT_THROW(internal_degree(g, 9, {0, 1}), Error);
+}
+
+}  // namespace
+}  // namespace kcc

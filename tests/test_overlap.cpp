@@ -1,0 +1,127 @@
+#include "metrics/overlap.h"
+
+#include <gtest/gtest.h>
+
+#include "cpm/cpm.h"
+#include "test_helpers.h"
+
+namespace kcc {
+namespace {
+
+using testing::overlapping_cliques;
+using testing::random_graph;
+
+Community make_community(std::size_t k, CommunityId id, NodeSet nodes) {
+  Community c;
+  c.k = k;
+  c.id = id;
+  c.nodes = std::move(nodes);
+  return c;
+}
+
+TEST(Overlap, BasicCounts) {
+  const auto a = make_community(3, 0, {1, 2, 3, 4});
+  const auto b = make_community(3, 1, {3, 4, 5});
+  EXPECT_EQ(community_overlap(a, b), 2u);
+  EXPECT_DOUBLE_EQ(overlap_fraction(a, b), 2.0 / 3.0);
+}
+
+TEST(Overlap, FullContainmentGivesFractionOne) {
+  const auto a = make_community(3, 0, {1, 2, 3, 4, 5});
+  const auto b = make_community(3, 1, {2, 3});
+  EXPECT_DOUBLE_EQ(overlap_fraction(a, b), 1.0);
+}
+
+TEST(Overlap, DisjointIsZero) {
+  const auto a = make_community(3, 0, {1, 2});
+  const auto b = make_community(3, 1, {3, 4});
+  EXPECT_DOUBLE_EQ(overlap_fraction(a, b), 0.0);
+}
+
+TEST(Overlap, EmptyCommunityThrows) {
+  const auto a = make_community(3, 0, {});
+  const auto b = make_community(3, 1, {1});
+  EXPECT_THROW(overlap_fraction(a, b), Error);
+}
+
+TEST(OverlapStats, TwoFiveCliques) {
+  const Graph g = overlapping_cliques(5, 5, 3);
+  const CpmResult r = run_cpm(g);
+  const CommunityTree tree = CommunityTree::build(r);
+  const auto stats = overlap_stats(r, main_ids_by_k(tree));
+  ASSERT_EQ(stats.size(), r.max_k - r.min_k + 1);
+  // Only k = 5 has a parallel community; it shares 3 of 5 with the main.
+  for (const auto& s : stats) {
+    if (s.k == 5) {
+      EXPECT_EQ(s.parallel_count, 1u);
+      EXPECT_DOUBLE_EQ(s.mean_parallel_vs_main, 3.0 / 5.0);
+      EXPECT_EQ(s.disjoint_from_main, 0u);
+      EXPECT_EQ(s.parallel_parallel_pairs, 0u);
+    } else {
+      EXPECT_EQ(s.parallel_count, 0u);
+    }
+  }
+}
+
+TEST(OverlapStats, MainIdVectorMismatchThrows) {
+  const CpmResult r = run_cpm(overlapping_cliques(4, 4, 2));
+  EXPECT_THROW(overlap_stats(r, {}), Error);
+}
+
+TEST(MainIdsByK, MatchesTreeMains) {
+  const Graph g = random_graph(30, 0.3, 12);
+  const CpmResult r = run_cpm(g);
+  const CommunityTree tree = CommunityTree::build(r);
+  const auto main_ids = main_ids_by_k(tree);
+  ASSERT_EQ(main_ids.size(), r.by_k.size());
+  for (std::size_t i = 0; i < main_ids.size(); ++i) {
+    const int idx = tree.index_of(r.min_k + i, main_ids[i]);
+    ASSERT_GE(idx, 0);
+    EXPECT_TRUE(tree.nodes()[idx].is_main);
+  }
+}
+
+TEST(Aggregate, MeanVarianceMin) {
+  std::vector<OverlapStatsAtK> stats(3);
+  stats[0].k = 3;
+  stats[0].parallel_count = 2;
+  stats[0].mean_parallel_vs_main = 0.5;
+  stats[1].k = 4;
+  stats[1].parallel_count = 1;
+  stats[1].mean_parallel_vs_main = 0.7;
+  stats[2].k = 5;
+  stats[2].parallel_count = 0;  // excluded from the aggregate
+  stats[2].mean_parallel_vs_main = 0.0;
+  const auto agg = aggregate_parallel_vs_main(stats);
+  EXPECT_EQ(agg.k_count, 2u);
+  EXPECT_DOUBLE_EQ(agg.mean, 0.6);
+  EXPECT_NEAR(agg.variance, 0.01, 1e-12);
+  EXPECT_DOUBLE_EQ(agg.min, 0.5);
+}
+
+TEST(Aggregate, EmptyStats) {
+  const auto agg = aggregate_parallel_vs_main({});
+  EXPECT_EQ(agg.k_count, 0u);
+  EXPECT_DOUBLE_EQ(agg.mean, 0.0);
+}
+
+// Property: every parallel community's overlap fraction with the main is in
+// [0, 1], and the per-k mean respects those bounds.
+TEST(OverlapStats, FractionsBounded) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Graph g = random_graph(40, 0.2, seed);
+    const CpmResult r = run_cpm(g);
+    if (r.max_k < r.min_k) continue;
+    const CommunityTree tree = CommunityTree::build(r);
+    for (const auto& s : overlap_stats(r, main_ids_by_k(tree))) {
+      EXPECT_GE(s.mean_parallel_vs_main, 0.0);
+      EXPECT_LE(s.mean_parallel_vs_main, 1.0);
+      EXPECT_GE(s.mean_parallel_parallel, 0.0);
+      EXPECT_LE(s.mean_parallel_parallel, 1.0);
+      EXPECT_LE(s.disjoint_from_main, s.parallel_count);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kcc

@@ -1,0 +1,54 @@
+#include "clique/parallel_cliques.h"
+
+#include <gtest/gtest.h>
+
+#include "clique/bron_kerbosch.h"
+#include "test_helpers.h"
+
+namespace kcc {
+namespace {
+
+using testing::random_graph;
+
+class ParallelCliquesThreads : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ParallelCliquesThreads, MatchesSequentialExactly) {
+  ThreadPool pool(GetParam());
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Graph g = random_graph(60, 0.15, seed);
+    EXPECT_EQ(parallel_maximal_cliques(g, pool), maximal_cliques(g))
+        << "seed " << seed << " threads " << GetParam();
+  }
+}
+
+TEST_P(ParallelCliquesThreads, MinSizeRespected) {
+  ThreadPool pool(GetParam());
+  const Graph g = random_graph(50, 0.2, 3);
+  EXPECT_EQ(parallel_maximal_cliques(g, pool, 3), maximal_cliques(g, 3));
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadSweep, ParallelCliquesThreads,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(ParallelCliques, EmptyGraph) {
+  ThreadPool pool(4);
+  EXPECT_TRUE(parallel_maximal_cliques(Graph{}, pool).empty());
+}
+
+TEST(ParallelCliques, DenseGraph) {
+  ThreadPool pool(4);
+  const Graph g = random_graph(40, 0.6, 11);
+  EXPECT_EQ(parallel_maximal_cliques(g, pool), maximal_cliques(g));
+}
+
+TEST(ParallelCliques, RepeatedRunsIdentical) {
+  ThreadPool pool(8);
+  const Graph g = random_graph(80, 0.1, 42);
+  const auto first = parallel_maximal_cliques(g, pool);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(parallel_maximal_cliques(g, pool), first);
+  }
+}
+
+}  // namespace
+}  // namespace kcc

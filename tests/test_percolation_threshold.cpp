@@ -1,0 +1,76 @@
+#include "analysis/percolation_threshold.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace kcc {
+namespace {
+
+TEST(PercolationThreshold, CriticalProbabilityFormula) {
+  // p_c(k=2) = 1/n — the classic ER giant-component threshold.
+  EXPECT_NEAR(critical_probability(100, 2), 0.01, 1e-12);
+  // p_c(k=3, n=200) = (2*200)^(-1/2).
+  EXPECT_NEAR(critical_probability(200, 3), 1.0 / std::sqrt(400.0), 1e-12);
+  EXPECT_THROW(critical_probability(1, 3), Error);
+  EXPECT_THROW(critical_probability(10, 1), Error);
+}
+
+TEST(PercolationThreshold, MonotoneInKAndN) {
+  // Larger k needs denser graphs; larger n percolates at lower p.
+  EXPECT_GT(critical_probability(200, 4), critical_probability(200, 3));
+  EXPECT_LT(critical_probability(400, 3), critical_probability(200, 3));
+}
+
+TEST(PercolationThreshold, SweepShowsPhaseTransition) {
+  PercolationSweepOptions options;
+  options.n = 250;
+  options.k = 3;
+  options.ratios = {0.5, 1.0, 2.0};
+  options.trials = 3;
+  options.seed = 7;
+  const auto points = percolation_sweep(options);
+  ASSERT_EQ(points.size(), 3u);
+  // Subcritical: largest community is a vanishing fraction. Supercritical:
+  // a giant community emerges.
+  EXPECT_LT(points[0].largest_fraction, 0.10);
+  EXPECT_GT(points[2].largest_fraction, 0.35);
+  EXPECT_LT(points[0].largest_fraction, points[2].largest_fraction);
+}
+
+TEST(PercolationThreshold, DeterministicInSeed) {
+  PercolationSweepOptions options;
+  options.n = 120;
+  options.k = 3;
+  options.ratios = {1.0};
+  options.trials = 2;
+  options.seed = 3;
+  const auto a = percolation_sweep(options);
+  const auto b = percolation_sweep(options);
+  EXPECT_EQ(a[0].largest, b[0].largest);
+  EXPECT_EQ(a[0].communities, b[0].communities);
+}
+
+TEST(PercolationThreshold, ProbabilityClampedToOne) {
+  PercolationSweepOptions options;
+  options.n = 30;
+  options.k = 6;
+  options.ratios = {100.0};  // ratio * p_c > 1
+  options.trials = 1;
+  const auto points = percolation_sweep(options);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_DOUBLE_EQ(points[0].p, 1.0);
+  // Complete graph: one community holding everything.
+  EXPECT_EQ(points[0].largest, options.n);
+}
+
+TEST(PercolationThreshold, InvalidTrialsThrow) {
+  PercolationSweepOptions options;
+  options.trials = 0;
+  EXPECT_THROW(percolation_sweep(options), Error);
+}
+
+}  // namespace
+}  // namespace kcc

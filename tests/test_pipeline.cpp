@@ -1,0 +1,180 @@
+// Integration tests: the full paper pipeline on a test-scale ecosystem.
+#include "analysis/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/report.h"
+#include "common/error.h"
+#include "common/set_ops.h"
+
+namespace kcc {
+namespace {
+
+const PipelineResult& result() {
+  static const PipelineResult r = [] {
+    PipelineOptions options;
+    options.synth = SynthParams::test_scale();
+    return run_pipeline(options);
+  }();
+  return r;
+}
+
+TEST(Pipeline, ReachesTheApexK) {
+  const SynthParams p = SynthParams::test_scale();
+  EXPECT_GE(result().cpm.max_k, p.apex_clique_size);
+  EXPECT_EQ(result().cpm.min_k, 2u);
+}
+
+TEST(Pipeline, K2IsTheWholeTopology) {
+  // Single connected component -> one k=2 community covering every AS.
+  const auto& k2 = result().cpm.at(2);
+  ASSERT_EQ(k2.count(), 1u);
+  EXPECT_EQ(k2.communities[0].size(), result().eco.num_ases());
+}
+
+TEST(Pipeline, ApexCommunityContainsPlantedClique) {
+  const auto& top = result().cpm.at(result().cpm.max_k);
+  ASSERT_GE(top.count(), 1u);
+  bool found = false;
+  for (const Community& c : top.communities) {
+    if (is_subset(result().eco.apex_clique, c.nodes)) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Pipeline, SatellitesJoinTheApexCommunity) {
+  const SynthParams p = SynthParams::test_scale();
+  // Satellites connect to apex-1 nodes, so they appear in the community at
+  // the apex k (they form adjacent apex-sized cliques).
+  const auto& top = result().cpm.at(p.apex_clique_size);
+  const Community& main = top.communities[0];
+  for (NodeId s : result().eco.apex_satellites) {
+    EXPECT_TRUE(contains(main.nodes, s));
+  }
+}
+
+TEST(Pipeline, MainSizeDecreasesWithK) {
+  std::size_t previous = std::numeric_limits<std::size_t>::max();
+  for (const auto& stats : result().level_stats) {
+    EXPECT_LE(stats.main_size, previous);
+    previous = stats.main_size;
+  }
+}
+
+TEST(Pipeline, ManyCommunitiesAtLowKFewAtHighK) {
+  const auto& stats = result().level_stats;
+  ASSERT_GE(stats.size(), 5u);
+  // Fig. 4.1 shape: the k=3 count dwarfs the top-k count.
+  const auto at_k3 = stats[1].community_count;
+  const auto at_top = stats.back().community_count;
+  EXPECT_GT(at_k3, 10u);
+  EXPECT_LE(at_top, 5u);
+  EXPECT_GT(at_k3, at_top * 4);
+}
+
+TEST(Pipeline, MainDensityRisesTowardsApex) {
+  // Fig. 4.4(a) shape: main community density low at k=3, ~1 near the apex.
+  const auto& r = result();
+  const auto main_ids = main_ids_by_k(r.tree);
+  const double low =
+      r.metrics_of(3, main_ids[3 - r.cpm.min_k]).density;
+  const double high =
+      r.metrics_of(r.cpm.max_k, main_ids[r.cpm.max_k - r.cpm.min_k]).density;
+  EXPECT_LT(low, 0.2);
+  EXPECT_GT(high, 0.8);
+}
+
+TEST(Pipeline, MainOdfRisesTowardsApex) {
+  // Fig. 4.4(b) shape: the apex community members direct most links outside.
+  const auto& r = result();
+  const auto main_ids = main_ids_by_k(r.tree);
+  const double low = r.metrics_of(3, main_ids[3 - r.cpm.min_k]).avg_odf;
+  const double high =
+      r.metrics_of(r.cpm.max_k, main_ids[r.cpm.max_k - r.cpm.min_k]).avg_odf;
+  EXPECT_LT(low, high);
+  EXPECT_GT(high, 0.5);
+}
+
+TEST(Pipeline, ProfilesCoverEveryCommunity) {
+  EXPECT_EQ(result().profiles.size(), result().cpm.total_communities());
+}
+
+TEST(Pipeline, HighKCommunitiesAreOnIxp) {
+  // Sec. 4: communities with high k are made of on-IXP ASes.
+  for (const auto& p : result().profiles) {
+    if (p.k >= SynthParams::test_scale().crown_clique_min) {
+      EXPECT_GT(p.on_ixp_fraction, 0.8) << "k" << p.k << "id" << p.id;
+    }
+  }
+}
+
+TEST(Pipeline, SomeRootCommunitiesAreCountryContained) {
+  std::size_t contained = 0;
+  for (const auto& p : result().profiles) {
+    if (result().bands.band_of(p.k) == Band::kRoot && !p.is_main &&
+        !p.containing_country.empty()) {
+      ++contained;
+    }
+  }
+  EXPECT_GT(contained, 5u);  // paper found 382 at full scale
+}
+
+TEST(Pipeline, CrownHasFullShareButTrunkDoesNot) {
+  const auto summaries = summarize_bands(result().profiles, result().bands);
+  const auto& root = summaries[0];
+  const auto& trunk = summaries[1];
+  const auto& crown = summaries[2];
+  EXPECT_GT(crown.with_full_share_ixp, 0u);
+  EXPECT_EQ(trunk.with_full_share_ixp, 0u);
+  EXPECT_GT(root.community_count, trunk.community_count);
+  EXPECT_GT(root.community_count, crown.community_count);
+}
+
+TEST(Pipeline, OverlapAggregateInRange) {
+  const auto agg = aggregate_parallel_vs_main(result().overlaps);
+  EXPECT_GT(agg.k_count, 0u);
+  EXPECT_GT(agg.mean, 0.0);
+  EXPECT_LE(agg.mean, 1.0);
+  EXPECT_GE(agg.variance, 0.0);
+}
+
+TEST(Pipeline, MetricsAlignedWithCommunities) {
+  const auto& r = result();
+  for (std::size_t k = r.cpm.min_k; k <= r.cpm.max_k; ++k) {
+    const auto& level = r.metrics_by_k[k - r.cpm.min_k];
+    ASSERT_EQ(level.size(), r.cpm.at(k).count());
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      EXPECT_EQ(level[i].id, i);
+      EXPECT_EQ(level[i].size, r.cpm.at(k).communities[i].size());
+    }
+  }
+  EXPECT_THROW(r.metrics_of(999, 0), Error);
+}
+
+TEST(Pipeline, ReportsRenderWithoutError) {
+  std::ostringstream os;
+  print_ecosystem_summary(os, result().eco);
+  print_level_table(os, result());
+  print_band_summary(os, result());
+  print_overlap_summary(os, result());
+  EXPECT_GT(os.str().size(), 500u);
+  EXPECT_NE(os.str().find("Table 2.1"), std::string::npos);
+}
+
+TEST(Pipeline, AnalyzePrebuiltEcosystem) {
+  SynthParams p = SynthParams::test_scale();
+  p.seed = 9;
+  AsEcosystem eco = generate_ecosystem(p);
+  const std::size_t n = eco.num_ases();
+  CpmOptions cpm;
+  cpm.max_k = 6;  // restrict for speed
+  const PipelineResult r = analyze_ecosystem(std::move(eco), cpm);
+  EXPECT_EQ(r.eco.num_ases(), n);
+  EXPECT_EQ(r.cpm.max_k, 6u);
+  EXPECT_EQ(r.level_stats.size(), 5u);
+}
+
+}  // namespace
+}  // namespace kcc

@@ -1,0 +1,111 @@
+#include "data/relationships.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "cpm/cpm.h"
+#include "synth/as_topology.h"
+#include "test_helpers.h"
+
+namespace kcc {
+namespace {
+
+using testing::complete_graph;
+using testing::make_graph;
+
+TEST(Relationships, Basics) {
+  const Graph g = make_graph(3, {{0, 1}, {1, 2}});
+  const RelationshipMap rel(
+      g, {LinkType::kCustomerProvider, LinkType::kPeering});
+  EXPECT_EQ(rel.type(0, 1), LinkType::kCustomerProvider);
+  EXPECT_EQ(rel.type(1, 0), LinkType::kCustomerProvider);
+  EXPECT_EQ(rel.type(2, 1), LinkType::kPeering);
+  EXPECT_THROW(rel.type(0, 2), Error);
+  const auto [cp, peering] = rel.totals();
+  EXPECT_EQ(cp, 1u);
+  EXPECT_EQ(peering, 1u);
+}
+
+TEST(Relationships, SizeMismatchThrows) {
+  const Graph g = make_graph(3, {{0, 1}, {1, 2}});
+  EXPECT_THROW(RelationshipMap(g, {LinkType::kPeering}), Error);
+}
+
+TEST(Relationships, Names) {
+  EXPECT_STREQ(link_type_name(LinkType::kPeering), "peering");
+  EXPECT_STREQ(link_type_name(LinkType::kCustomerProvider),
+               "customer-provider");
+}
+
+TEST(Relationships, PeeringFraction) {
+  // Triangle 0-1-2 where 0-1 is customer-provider, rest peering; node 3
+  // outside.
+  const Graph g = make_graph(4, {{0, 1}, {0, 2}, {1, 2}, {2, 3}});
+  const RelationshipMap rel(
+      g, {LinkType::kCustomerProvider, LinkType::kPeering,
+          LinkType::kPeering, LinkType::kCustomerProvider});
+  EXPECT_DOUBLE_EQ(peering_fraction(g, rel, {0, 1, 2}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(peering_fraction(g, rel, {0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(peering_fraction(g, rel, {0, 3}), 0.0);  // no internal
+}
+
+TEST(Relationships, PeeringByKSeries) {
+  const Graph g = complete_graph(4);
+  const RelationshipMap rel(
+      g, std::vector<LinkType>(6, LinkType::kPeering));
+  const CpmResult cpm = run_cpm(g);
+  const auto series = peering_by_k(g, rel, cpm);
+  ASSERT_EQ(series.size(), 3u);  // k = 2, 3, 4
+  for (const auto& row : series) {
+    EXPECT_DOUBLE_EQ(row.mean_peering_fraction, 1.0);
+  }
+}
+
+TEST(Relationships, GeneratorAnnotatesEveryEdge) {
+  const AsEcosystem eco = generate_ecosystem(SynthParams::test_scale());
+  EXPECT_EQ(eco.relationships.edge_count(),
+            eco.topology.graph.num_edges());
+  const auto [cp, peering] = eco.relationships.totals();
+  EXPECT_GT(cp, 0u);
+  EXPECT_GT(peering, 0u);
+  EXPECT_EQ(cp + peering, eco.topology.graph.num_edges());
+}
+
+TEST(Relationships, Tier1MeshIsPeering) {
+  const AsEcosystem eco = generate_ecosystem(SynthParams::test_scale());
+  const SynthParams p = SynthParams::test_scale();
+  for (NodeId i = 0; i < p.num_tier1; ++i) {
+    for (NodeId j = i + 1; j < p.num_tier1; ++j) {
+      EXPECT_EQ(eco.relationships.type(i, j), LinkType::kPeering);
+    }
+  }
+}
+
+TEST(Relationships, ApexCliqueIsPeeringFabric) {
+  const AsEcosystem eco = generate_ecosystem(SynthParams::test_scale());
+  const double fraction = peering_fraction(
+      eco.topology.graph, eco.relationships, eco.apex_clique);
+  EXPECT_GT(fraction, 0.9);  // the crown is settlement-free fabric
+}
+
+TEST(Relationships, StubEdgesAreMostlyCustomerProvider) {
+  const AsEcosystem eco = generate_ecosystem(SynthParams::test_scale());
+  const Graph& g = eco.topology.graph;
+  std::size_t cp = 0, total = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (eco.roles[v] != AsRole::kStub || eco.ixps.is_on_ixp(v)) continue;
+    for (NodeId w : g.neighbors(v)) {
+      if (v < w || eco.roles[w] != AsRole::kStub) {
+        ++total;
+        if (eco.relationships.type(v, w) == LinkType::kCustomerProvider) {
+          ++cp;
+        }
+      }
+    }
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(double(cp) / double(total), 0.5);
+}
+
+}  // namespace
+}  // namespace kcc

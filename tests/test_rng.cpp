@@ -1,0 +1,115 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.h"
+
+namespace kcc {
+namespace {
+
+TEST(Rng, DeterministicBySeed) {
+  Rng a(7), b(7), c(8);
+  bool all_equal = true, any_diff_c = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next_u64();
+    const auto vb = b.next_u64();
+    const auto vc = c.next_u64();
+    all_equal = all_equal && va == vb;
+    any_diff_c = any_diff_c || va != vc;
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff_c);
+}
+
+TEST(Rng, NextBelowInRangeAndCoversAll) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_below(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextBelowZeroThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.next_below(0), Error);
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+  Rng rng(2);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_THROW(rng.next_int(4, 3), Error);
+}
+
+TEST(Rng, NextDoubleUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(4);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.next_bool(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ZipfSkewsTowardsLowRanks) {
+  Rng rng(6);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const auto r = rng.next_zipf(10, 1.2);
+    ASSERT_LT(r, 10u);
+    ++counts[r];
+  }
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[4], counts[9]);
+  EXPECT_THROW(rng.next_zipf(0, 1.0), Error);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(8);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, v);
+}
+
+TEST(Rng, SampleWithoutReplacement) {
+  Rng rng(9);
+  const std::vector<int> pool{10, 20, 30, 40, 50};
+  const auto sample = rng.sample_without_replacement(pool, 3);
+  EXPECT_EQ(sample.size(), 3u);
+  std::set<int> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 3u);
+  for (int s : sample) {
+    EXPECT_TRUE(std::find(pool.begin(), pool.end(), s) != pool.end());
+  }
+  EXPECT_THROW(rng.sample_without_replacement(pool, 6), Error);
+  EXPECT_TRUE(rng.sample_without_replacement(pool, 0).empty());
+}
+
+}  // namespace
+}  // namespace kcc

@@ -1,0 +1,79 @@
+#include "analysis/robustness.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/as_topology.h"
+#include "test_helpers.h"
+
+namespace kcc {
+namespace {
+
+TEST(Robustness, InvalidOptionsThrow) {
+  const Graph g = testing::random_graph(30, 0.2, 1);
+  RobustnessOptions options;
+  options.fractions = {0.0};
+  EXPECT_THROW(community_robustness(g, options), Error);
+  options.fractions = {1.0};
+  EXPECT_THROW(community_robustness(g, options), Error);
+  EXPECT_THROW(community_robustness(Graph{}, RobustnessOptions{}), Error);
+}
+
+TEST(Robustness, PointsMatchFractions) {
+  const Graph g = testing::random_graph(100, 0.1, 2);
+  RobustnessOptions options;
+  options.fractions = {0.05, 0.20};
+  const auto points = community_robustness(g, options);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_DOUBLE_EQ(points[0].removed_fraction, 0.05);
+  EXPECT_EQ(points[0].nodes_left, 95u);
+  EXPECT_EQ(points[1].nodes_left, 80u);
+  EXPECT_GE(points[0].edges_left, points[1].edges_left);
+}
+
+TEST(Robustness, TargetedRemovesHighDegreeFirst) {
+  // Star + clique: removing 1 node targeted kills the star hub.
+  GraphBuilder b;
+  for (NodeId leaf = 1; leaf <= 20; ++leaf) b.add_edge(0, leaf);
+  for (NodeId i = 21; i < 25; ++i) {
+    for (NodeId j = i + 1; j < 25; ++j) b.add_edge(i, j);
+  }
+  b.add_edge(20, 21);  // connect components
+  const Graph g = b.build();
+  RobustnessOptions options;
+  options.fractions = {0.04};  // removes exactly 1 node: the hub (degree 20)
+  const auto points = community_robustness(g, options);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].edges_left, g.num_edges() - 20);
+}
+
+TEST(Robustness, TargetedHurtsMoreThanRandom) {
+  const AsEcosystem eco = generate_ecosystem(SynthParams::test_scale());
+  const Graph& g = eco.topology.graph;
+  RobustnessOptions targeted;
+  targeted.policy = RemovalPolicy::kTargetedByDegree;
+  targeted.fractions = {0.05};
+  RobustnessOptions random;
+  random.policy = RemovalPolicy::kRandom;
+  random.fractions = {0.05};
+  const auto t = community_robustness(g, targeted);
+  const auto r = community_robustness(g, random);
+  // Removing hubs destroys far more edges and shrinks the giant component
+  // more than random failures.
+  EXPECT_LT(t[0].edges_left, r[0].edges_left);
+  EXPECT_LE(t[0].giant_component, r[0].giant_component);
+}
+
+TEST(Robustness, RandomPolicyDeterministicInSeed) {
+  const Graph g = testing::random_graph(60, 0.15, 8);
+  RobustnessOptions options;
+  options.policy = RemovalPolicy::kRandom;
+  options.fractions = {0.10};
+  options.seed = 42;
+  const auto a = community_robustness(g, options);
+  const auto b = community_robustness(g, options);
+  EXPECT_EQ(a[0].edges_left, b[0].edges_left);
+  EXPECT_EQ(a[0].total_communities, b[0].total_communities);
+}
+
+}  // namespace
+}  // namespace kcc

@@ -1,0 +1,80 @@
+#include "metrics/scoring.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "test_helpers.h"
+
+namespace kcc {
+namespace {
+
+using testing::complete_graph;
+using testing::make_graph;
+
+TEST(Scoring, IsolatedClique) {
+  const Graph g = complete_graph(5);
+  const CommunityScores s = score_community(g, {0, 1, 2, 3, 4});
+  EXPECT_EQ(s.internal_edges, 10u);
+  EXPECT_EQ(s.boundary_edges, 0u);
+  EXPECT_DOUBLE_EQ(s.density, 1.0);
+  EXPECT_DOUBLE_EQ(s.conductance, 0.0);
+  EXPECT_DOUBLE_EQ(s.expansion, 0.0);
+  EXPECT_DOUBLE_EQ(s.cut_ratio, 0.0);
+  EXPECT_GT(s.separability, 1e9);  // no boundary: sentinel
+}
+
+TEST(Scoring, Tier1LikeCommunity) {
+  // Triangle with 6 external pendants on node 0.
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(1, 2);
+  for (NodeId leaf = 3; leaf < 9; ++leaf) b.add_edge(0, leaf);
+  const Graph g = b.build();
+  const CommunityScores s = score_community(g, {0, 1, 2});
+  EXPECT_EQ(s.internal_edges, 3u);
+  EXPECT_EQ(s.boundary_edges, 6u);
+  EXPECT_DOUBLE_EQ(s.density, 1.0);
+  // conductance = 6 / (6 + 6) = 0.5 — "bad" under the internal-vs-external
+  // lens despite being a perfect clique (the paper's core argument).
+  EXPECT_DOUBLE_EQ(s.conductance, 0.5);
+  EXPECT_DOUBLE_EQ(s.expansion, 2.0);
+  EXPECT_DOUBLE_EQ(s.cut_ratio, 6.0 / (3.0 * 6.0));
+  EXPECT_DOUBLE_EQ(s.separability, 0.5);
+}
+
+TEST(Scoring, EmptyAndSingleton) {
+  const Graph g = complete_graph(3);
+  const CommunityScores empty = score_community(g, {});
+  EXPECT_EQ(empty.size, 0u);
+  const CommunityScores single = score_community(g, {1});
+  EXPECT_EQ(single.size, 1u);
+  EXPECT_EQ(single.boundary_edges, 2u);
+  EXPECT_DOUBLE_EQ(single.density, 0.0);
+  EXPECT_DOUBLE_EQ(single.conductance, 1.0);
+}
+
+TEST(Scoring, UnsortedThrows) {
+  const Graph g = complete_graph(3);
+  EXPECT_THROW(score_community(g, {2, 1}), Error);
+}
+
+TEST(Scoring, ConductanceBounds) {
+  const Graph g = testing::random_graph(40, 0.2, 5);
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    NodeSet community;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (rng.next_bool(0.3)) community.push_back(v);
+    }
+    if (community.empty()) continue;
+    const CommunityScores s = score_community(g, community);
+    EXPECT_GE(s.conductance, 0.0);
+    EXPECT_LE(s.conductance, 1.0);
+    EXPECT_GE(s.density, 0.0);
+    EXPECT_LE(s.density, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace kcc

@@ -1,0 +1,108 @@
+#include "common/set_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace kcc {
+namespace {
+
+TEST(SetOps, IsSortedUnique) {
+  EXPECT_TRUE(is_sorted_unique<int>({}));
+  EXPECT_TRUE(is_sorted_unique<int>({5}));
+  EXPECT_TRUE(is_sorted_unique<int>({1, 2, 3}));
+  EXPECT_FALSE(is_sorted_unique<int>({1, 1, 2}));
+  EXPECT_FALSE(is_sorted_unique<int>({2, 1}));
+}
+
+TEST(SetOps, SortUnique) {
+  std::vector<int> v{3, 1, 2, 3, 1};
+  sort_unique(v);
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SetOps, SortUniqueEmpty) {
+  std::vector<int> v;
+  sort_unique(v);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SetOps, IntersectionSizeBasic) {
+  const std::vector<int> a{1, 3, 5, 7};
+  const std::vector<int> b{2, 3, 4, 5};
+  EXPECT_EQ(intersection_size(a, b), 2u);
+  EXPECT_EQ(intersection_size(a, a), 4u);
+  EXPECT_EQ(intersection_size(a, {}), 0u);
+}
+
+TEST(SetOps, IntersectionAtLeast) {
+  const std::vector<int> a{1, 2, 3, 4, 5};
+  const std::vector<int> b{3, 4, 5, 6, 7};
+  EXPECT_TRUE(intersection_at_least(a, b, 0));
+  EXPECT_TRUE(intersection_at_least(a, b, 3));
+  EXPECT_FALSE(intersection_at_least(a, b, 4));
+}
+
+TEST(SetOps, IntersectionAtLeastEarlyExitMatchesExact) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<int> a, b;
+    for (int i = 0; i < 30; ++i) {
+      if (rng.next_bool(0.4)) a.push_back(i);
+      if (rng.next_bool(0.4)) b.push_back(i);
+    }
+    const std::size_t exact = intersection_size(a, b);
+    for (std::size_t t = 0; t <= 12; ++t) {
+      EXPECT_EQ(intersection_at_least(a, b, t), exact >= t)
+          << "trial " << trial << " threshold " << t;
+    }
+  }
+}
+
+TEST(SetOps, UnionIntersectionDifference) {
+  const std::vector<int> a{1, 2, 4};
+  const std::vector<int> b{2, 3, 4};
+  EXPECT_EQ(set_union(a, b), (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(set_intersection(a, b), (std::vector<int>{2, 4}));
+  EXPECT_EQ(set_difference(a, b), (std::vector<int>{1}));
+  EXPECT_EQ(set_difference(b, a), (std::vector<int>{3}));
+}
+
+TEST(SetOps, Subset) {
+  EXPECT_TRUE(is_subset<int>({}, {1, 2}));
+  EXPECT_TRUE(is_subset<int>({1, 2}, {1, 2, 3}));
+  EXPECT_FALSE(is_subset<int>({1, 4}, {1, 2, 3}));
+  EXPECT_TRUE(is_subset<int>({1, 2}, {1, 2}));
+}
+
+TEST(SetOps, Contains) {
+  const std::vector<int> v{1, 3, 5};
+  EXPECT_TRUE(contains(v, 3));
+  EXPECT_FALSE(contains(v, 4));
+  EXPECT_FALSE(contains(std::vector<int>{}, 1));
+}
+
+TEST(SetOps, RandomizedAgainstStdSet) {
+  Rng rng(99);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::set<std::uint32_t> sa, sb;
+    for (int i = 0; i < 40; ++i) {
+      sa.insert(static_cast<std::uint32_t>(rng.next_below(60)));
+      sb.insert(static_cast<std::uint32_t>(rng.next_below(60)));
+    }
+    const std::vector<std::uint32_t> a(sa.begin(), sa.end());
+    const std::vector<std::uint32_t> b(sb.begin(), sb.end());
+    std::set<std::uint32_t> expected_union = sa;
+    expected_union.insert(sb.begin(), sb.end());
+    EXPECT_EQ(set_union(a, b).size(), expected_union.size());
+    std::size_t inter = 0;
+    for (auto x : sa) inter += sb.count(x);
+    EXPECT_EQ(intersection_size(a, b), inter);
+  }
+}
+
+}  // namespace
+}  // namespace kcc

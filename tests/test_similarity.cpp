@@ -1,0 +1,109 @@
+#include "metrics/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/kcore.h"
+#include "common/error.h"
+#include "cpm/cpm.h"
+#include "test_helpers.h"
+
+namespace kcc {
+namespace {
+
+TEST(Jaccard, Basics) {
+  EXPECT_DOUBLE_EQ(jaccard_index({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(jaccard_index({1, 2}, {3, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(jaccard_index({1, 2, 3}, {2, 3, 4}), 0.5);
+  EXPECT_DOUBLE_EQ(jaccard_index({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(jaccard_index({1}, {}), 0.0);
+}
+
+TEST(Jaccard, UnsortedThrows) {
+  EXPECT_THROW(jaccard_index({2, 1}, {1, 2}), Error);
+}
+
+TEST(Omega, IdenticalCoversAreOne) {
+  const std::vector<NodeSet> cover{{0, 1, 2}, {3, 4}, {2, 5, 6}};
+  EXPECT_DOUBLE_EQ(omega_index(cover, cover, 10), 1.0);
+}
+
+TEST(Omega, IndependentOfCommunityOrder) {
+  const std::vector<NodeSet> a{{0, 1, 2}, {3, 4, 5}};
+  const std::vector<NodeSet> b{{3, 4, 5}, {0, 1, 2}};
+  EXPECT_DOUBLE_EQ(omega_index(a, b, 6), 1.0);
+}
+
+TEST(Omega, DisagreementScoresBelowOne) {
+  const std::vector<NodeSet> a{{0, 1, 2, 3}};
+  const std::vector<NodeSet> b{{0, 1}, {2, 3}};
+  const double omega = omega_index(a, b, 8);
+  EXPECT_LT(omega, 1.0);
+}
+
+TEST(Omega, EmptyCoversAgree) {
+  // Both covers place every pair together 0 times -> degenerate perfect
+  // agreement.
+  EXPECT_DOUBLE_EQ(omega_index({}, {}, 5), 1.0);
+}
+
+TEST(Omega, NeedsTwoNodes) {
+  EXPECT_THROW(omega_index({}, {}, 1), Error);
+}
+
+TEST(Omega, CpmAgreesWithItselfAcrossThreadCounts) {
+  const Graph g = testing::random_graph(40, 0.2, 5);
+  CpmOptions one, eight;
+  one.threads = 1;
+  eight.threads = 8;
+  const CpmResult a = run_cpm(g, one);
+  const CpmResult b = run_cpm(g, eight);
+  std::vector<NodeSet> cover_a, cover_b;
+  for (const auto& c : a.at(3).communities) cover_a.push_back(c.nodes);
+  for (const auto& c : b.at(3).communities) cover_b.push_back(c.nodes);
+  EXPECT_DOUBLE_EQ(omega_index(cover_a, cover_b, g.num_nodes()), 1.0);
+}
+
+TEST(Omega, CpmVsKCoreDiffersButCorrelates) {
+  // K5 {0..4} + triangle {5,6,7} bridged by edge 4-5. CPM at k=3 covers
+  // both dense zones; the 3-core peels the triangle away, so the covers
+  // disagree on the triangle pairs but agree on the K5 pairs.
+  GraphBuilder b;
+  for (NodeId i = 0; i < 5; ++i) {
+    for (NodeId j = i + 1; j < 5; ++j) b.add_edge(i, j);
+  }
+  b.add_edge(5, 6);
+  b.add_edge(5, 7);
+  b.add_edge(6, 7);
+  b.add_edge(4, 5);
+  const Graph g = b.build();
+
+  const CpmResult cpm = run_cpm(g);
+  std::vector<NodeSet> cpm_cover;
+  for (const auto& c : cpm.at(3).communities) cpm_cover.push_back(c.nodes);
+  ASSERT_EQ(cpm_cover.size(), 2u);
+  const auto kcore_cover = kcore_components(g, 3);
+  ASSERT_EQ(kcore_cover.size(), 1u);  // only the K5 survives
+  const double omega = omega_index(cpm_cover, kcore_cover, g.num_nodes());
+  EXPECT_LT(omega, 1.0);
+  EXPECT_GT(omega, 0.0);  // but far from independent
+}
+
+TEST(BestMatches, FindsHighestJaccard) {
+  const std::vector<NodeSet> from{{0, 1, 2}, {5, 6}};
+  const std::vector<NodeSet> to{{0, 1}, {5, 6, 7}, {8}};
+  const auto matches = best_matches(from, to);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].index, 0);
+  EXPECT_DOUBLE_EQ(matches[0].jaccard, 2.0 / 3.0);
+  EXPECT_EQ(matches[1].index, 1);
+  EXPECT_DOUBLE_EQ(matches[1].jaccard, 2.0 / 3.0);
+}
+
+TEST(BestMatches, EmptyTargets) {
+  const auto matches = best_matches({{0, 1}}, {});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].index, -1);
+}
+
+}  // namespace
+}  // namespace kcc

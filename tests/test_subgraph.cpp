@@ -1,0 +1,83 @@
+#include "graph/subgraph.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "test_helpers.h"
+
+namespace kcc {
+namespace {
+
+using testing::complete_graph;
+using testing::make_graph;
+
+TEST(InducedSubgraph, KeepsInternalEdgesOnly) {
+  // Triangle {0,1,2} plus pendant 3.
+  const Graph g = make_graph(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  const auto sub = induced_subgraph(g, {0, 1, 2});
+  EXPECT_EQ(sub.graph.num_nodes(), 3u);
+  EXPECT_EQ(sub.graph.num_edges(), 3u);
+  EXPECT_EQ(sub.to_parent, (NodeSet{0, 1, 2}));
+}
+
+TEST(InducedSubgraph, RelabelsDensely) {
+  const Graph g = make_graph(10, {{2, 7}, {7, 9}, {2, 9}, {0, 1}});
+  const auto sub = induced_subgraph(g, {2, 7, 9});
+  EXPECT_EQ(sub.graph.num_nodes(), 3u);
+  EXPECT_TRUE(sub.graph.has_edge(0, 1));  // 2-7
+  EXPECT_TRUE(sub.graph.has_edge(1, 2));  // 7-9
+  EXPECT_TRUE(sub.graph.has_edge(0, 2));  // 2-9
+}
+
+TEST(InducedSubgraph, LiftTranslatesBack) {
+  const Graph g = make_graph(10, {{2, 7}, {7, 9}});
+  const auto sub = induced_subgraph(g, {2, 7, 9});
+  EXPECT_EQ(sub.lift({0, 2}), (NodeSet{2, 9}));
+  EXPECT_TRUE(sub.lift({}).empty());
+  EXPECT_THROW(sub.lift({5}), Error);
+}
+
+TEST(InducedSubgraph, EmptySelection) {
+  const Graph g = make_graph(3, {{0, 1}});
+  const auto sub = induced_subgraph(g, {});
+  EXPECT_EQ(sub.graph.num_nodes(), 0u);
+}
+
+TEST(InducedSubgraph, UnsortedSelectionThrows) {
+  const Graph g = make_graph(3, {{0, 1}});
+  EXPECT_THROW(induced_subgraph(g, {1, 0}), Error);
+  EXPECT_THROW(induced_subgraph(g, {0, 9}), Error);
+}
+
+TEST(InducedSubgraph, IsolatedMembersKept) {
+  const Graph g = make_graph(4, {{0, 1}});
+  const auto sub = induced_subgraph(g, {0, 2, 3});
+  EXPECT_EQ(sub.graph.num_nodes(), 3u);
+  EXPECT_EQ(sub.graph.num_edges(), 0u);
+}
+
+TEST(InducedEdgeCount, MatchesMaterialisedSubgraph) {
+  const Graph g = complete_graph(8);
+  for (const NodeSet& nodes :
+       {NodeSet{}, NodeSet{3}, NodeSet{0, 1}, NodeSet{1, 3, 5, 7},
+        NodeSet{0, 1, 2, 3, 4, 5, 6, 7}}) {
+    EXPECT_EQ(induced_edge_count(g, nodes),
+              induced_subgraph(g, nodes).graph.num_edges());
+  }
+}
+
+TEST(InducedEdgeCount, RandomGraphsMatch) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Graph g = testing::random_graph(30, 0.2, seed);
+    Rng rng(seed + 100);
+    NodeSet nodes;
+    for (NodeId v = 0; v < 30; ++v) {
+      if (rng.next_bool(0.5)) nodes.push_back(v);
+    }
+    EXPECT_EQ(induced_edge_count(g, nodes),
+              induced_subgraph(g, nodes).graph.num_edges());
+  }
+}
+
+}  // namespace
+}  // namespace kcc

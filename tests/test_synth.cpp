@@ -1,0 +1,201 @@
+#include "synth/as_topology.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/set_ops.h"
+#include "data/tags.h"
+#include "graph/graph_algorithms.h"
+
+namespace kcc {
+namespace {
+
+const AsEcosystem& test_eco() {
+  static const AsEcosystem eco = generate_ecosystem(SynthParams::test_scale());
+  return eco;
+}
+
+TEST(SynthParams, PresetsValidate) {
+  SynthParams::test_scale().validate();
+  SynthParams::bench_scale().validate();
+  SynthParams::paper_scale().validate();
+}
+
+TEST(SynthParams, InvalidParamsThrow) {
+  SynthParams p = SynthParams::test_scale();
+  p.num_ases = 10;
+  EXPECT_THROW(p.validate(), Error);
+
+  p = SynthParams::test_scale();
+  p.apex_clique_size = p.big_core_size + 1;
+  EXPECT_THROW(p.validate(), Error);
+
+  p = SynthParams::test_scale();
+  p.trunk_chain_max_k = p.crown_clique_min + 1;
+  EXPECT_THROW(p.validate(), Error);
+
+  p = SynthParams::test_scale();
+  p.big_ixp_participants = p.big_core_size;  // no room for the middle ring
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(Synth, DimensionsMatchParams) {
+  const SynthParams p = SynthParams::test_scale();
+  const AsEcosystem& eco = test_eco();
+  EXPECT_EQ(eco.num_ases(), p.num_ases);
+  EXPECT_EQ(eco.roles.size(), p.num_ases);
+  EXPECT_EQ(eco.big_ixps.size(), p.big_ixp_count);
+  EXPECT_LE(eco.ixps.count(), p.num_ixps);
+  EXPECT_GE(eco.ixps.count(), p.big_ixp_count + 1);
+}
+
+TEST(Synth, DeterministicInSeed) {
+  SynthParams p = SynthParams::test_scale();
+  const AsEcosystem a = generate_ecosystem(p);
+  const AsEcosystem b = generate_ecosystem(p);
+  EXPECT_EQ(a.topology.graph.edges(), b.topology.graph.edges());
+  EXPECT_EQ(a.apex_clique, b.apex_clique);
+  ASSERT_EQ(a.ixps.count(), b.ixps.count());
+  for (IxpId i = 0; i < a.ixps.count(); ++i) {
+    EXPECT_EQ(a.ixps.ixp(i).participants, b.ixps.ixp(i).participants);
+  }
+
+  p.seed = 777;
+  const AsEcosystem c = generate_ecosystem(p);
+  EXPECT_NE(a.topology.graph.edges(), c.topology.graph.edges());
+}
+
+TEST(Synth, SingleConnectedComponent) {
+  const auto labels = connected_components(test_eco().topology.graph);
+  EXPECT_EQ(labels.count, 1u);
+}
+
+TEST(Synth, Tier1FullMesh) {
+  const AsEcosystem& eco = test_eco();
+  const Graph& g = eco.topology.graph;
+  std::vector<NodeId> tier1;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (eco.roles[v] == AsRole::kTier1) tier1.push_back(v);
+  }
+  EXPECT_EQ(tier1.size(), SynthParams::test_scale().num_tier1);
+  for (std::size_t i = 0; i < tier1.size(); ++i) {
+    for (std::size_t j = i + 1; j < tier1.size(); ++j) {
+      EXPECT_TRUE(g.has_edge(tier1[i], tier1[j]));
+    }
+  }
+}
+
+TEST(Synth, ApexCliqueIsPlanted) {
+  const AsEcosystem& eco = test_eco();
+  const Graph& g = eco.topology.graph;
+  ASSERT_EQ(eco.apex_clique.size(),
+            SynthParams::test_scale().apex_clique_size);
+  for (std::size_t i = 0; i < eco.apex_clique.size(); ++i) {
+    for (std::size_t j = i + 1; j < eco.apex_clique.size(); ++j) {
+      EXPECT_TRUE(g.has_edge(eco.apex_clique[i], eco.apex_clique[j]));
+    }
+  }
+}
+
+TEST(Synth, ApexInsideEveryBigIxp) {
+  const AsEcosystem& eco = test_eco();
+  for (IxpId big : eco.big_ixps) {
+    EXPECT_TRUE(is_subset(eco.apex_clique, eco.ixps.ixp(big).participants));
+  }
+}
+
+TEST(Synth, SatellitesOffIxpAndAdjacentToApex) {
+  const AsEcosystem& eco = test_eco();
+  const Graph& g = eco.topology.graph;
+  for (NodeId s : eco.apex_satellites) {
+    EXPECT_FALSE(eco.ixps.is_on_ixp(s));
+    std::size_t adjacent = 0;
+    for (NodeId a : eco.apex_clique) {
+      adjacent += g.has_edge(s, a) ? 1 : 0;
+    }
+    EXPECT_EQ(adjacent, eco.apex_clique.size() - 1);
+  }
+}
+
+TEST(Synth, BigIxpsShareParticipants) {
+  const AsEcosystem& eco = test_eco();
+  ASSERT_GE(eco.big_ixps.size(), 2u);
+  const auto& a = eco.ixps.ixp(eco.big_ixps[0]).participants;
+  const auto& b = eco.ixps.ixp(eco.big_ixps[1]).participants;
+  EXPECT_GE(intersection_size(a, b),
+            SynthParams::test_scale().big_core_size);
+}
+
+TEST(Synth, RolesPartitionThePopulation) {
+  const AsEcosystem& eco = test_eco();
+  std::size_t tier1 = 0, transit = 0, stub = 0;
+  for (AsRole r : eco.roles) {
+    switch (r) {
+      case AsRole::kTier1:
+        ++tier1;
+        break;
+      case AsRole::kTransit:
+        ++transit;
+        break;
+      case AsRole::kStub:
+        ++stub;
+        break;
+    }
+  }
+  const SynthParams p = SynthParams::test_scale();
+  EXPECT_EQ(tier1, p.num_tier1);
+  EXPECT_EQ(transit,
+            static_cast<std::size_t>(p.transit_fraction * double(p.num_ases)));
+  EXPECT_EQ(tier1 + transit + stub, p.num_ases);
+}
+
+TEST(Synth, GeoTagMixLooksLikeTable22) {
+  const AsEcosystem& eco = test_eco();
+  const GeoTagCounts counts = count_geo_tags(eco.geo, eco.num_ases());
+  const double n = double(eco.num_ases());
+  // Paper: 88% national, ~3% continental, ~4% worldwide, ~4% unknown.
+  EXPECT_GT(counts.national / n, 0.6);
+  EXPECT_GT(counts.worldwide, 0u);
+  EXPECT_GT(counts.continental, 0u);
+  EXPECT_GT(counts.unknown, 0u);
+  EXPECT_LT(counts.unknown / n, 0.15);
+}
+
+TEST(Synth, OnIxpMinorityLikeTable21) {
+  const AsEcosystem& eco = test_eco();
+  const IxpTagCounts counts = count_ixp_tags(eco.ixps, eco.num_ases());
+  EXPECT_GT(counts.on_ixp, 0u);
+  EXPECT_GT(counts.not_on_ixp, counts.on_ixp);  // on-IXP ASes are a minority
+}
+
+TEST(Synth, Tier1AreWorldwide) {
+  const AsEcosystem& eco = test_eco();
+  for (NodeId v = 0; v < eco.num_ases(); ++v) {
+    if (eco.roles[v] == AsRole::kTier1) {
+      EXPECT_EQ(classify_geo(eco.geo, v), GeoTag::kWorldwide);
+    }
+  }
+}
+
+TEST(Synth, LabelsAreAsNumbers) {
+  const AsEcosystem& eco = test_eco();
+  EXPECT_EQ(eco.topology.labels.size(), eco.num_ases());
+  EXPECT_EQ(eco.topology.labels.front(), 1u);
+  EXPECT_EQ(eco.topology.labels.back(), eco.num_ases());
+}
+
+TEST(Synth, DegreeDistributionIsHeavyTailed) {
+  const Graph& g = test_eco().topology.graph;
+  const DegreeStats stats = degree_stats(g);
+  EXPECT_GT(stats.max, 20u * static_cast<std::size_t>(stats.median + 1));
+  EXPECT_GE(stats.min, 1u);  // single component, no isolated nodes
+}
+
+TEST(Synth, RoleNames) {
+  EXPECT_STREQ(as_role_name(AsRole::kTier1), "tier1");
+  EXPECT_STREQ(as_role_name(AsRole::kTransit), "transit");
+  EXPECT_STREQ(as_role_name(AsRole::kStub), "stub");
+}
+
+}  // namespace
+}  // namespace kcc

@@ -1,0 +1,85 @@
+// Parameterized invariants of the synthetic ecosystem across seeds: the
+// reproduction's shape claims must not depend on one lucky seed.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/set_ops.h"
+#include "data/tags.h"
+#include "graph/graph_algorithms.h"
+#include "synth/as_topology.h"
+
+namespace kcc {
+namespace {
+
+class SynthInvariants : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static const AsEcosystem& eco() {
+    // One ecosystem per seed, cached across the suite's tests.
+    static std::map<std::uint64_t, AsEcosystem> cache;
+    const std::uint64_t seed = GetParam();
+    auto it = cache.find(seed);
+    if (it == cache.end()) {
+      SynthParams params = SynthParams::test_scale();
+      params.seed = seed;
+      it = cache.emplace(seed, generate_ecosystem(params)).first;
+    }
+    return it->second;
+  }
+};
+
+TEST_P(SynthInvariants, SingleConnectedComponent) {
+  EXPECT_EQ(connected_components(eco().topology.graph).count, 1u);
+}
+
+TEST_P(SynthInvariants, ApexPlantedAndInsideBigIxps) {
+  const auto& e = eco();
+  ASSERT_EQ(e.apex_clique.size(), SynthParams::test_scale().apex_clique_size);
+  for (std::size_t i = 0; i < e.apex_clique.size(); ++i) {
+    for (std::size_t j = i + 1; j < e.apex_clique.size(); ++j) {
+      EXPECT_TRUE(e.topology.graph.has_edge(e.apex_clique[i],
+                                            e.apex_clique[j]));
+    }
+  }
+  for (IxpId big : e.big_ixps) {
+    EXPECT_TRUE(is_subset(e.apex_clique, e.ixps.ixp(big).participants));
+  }
+}
+
+TEST_P(SynthInvariants, NationalMajority) {
+  const auto counts = count_geo_tags(eco().geo, eco().num_ases());
+  EXPECT_GT(counts.national * 2, eco().num_ases());  // > 50% national
+}
+
+TEST_P(SynthInvariants, OnIxpMinority) {
+  const auto counts = count_ixp_tags(eco().ixps, eco().num_ases());
+  EXPECT_LT(counts.on_ixp, counts.not_on_ixp);
+}
+
+TEST_P(SynthInvariants, HeavyTailPresent) {
+  const DegreeStats stats = degree_stats(eco().topology.graph);
+  EXPECT_GE(stats.max, 50u);
+  EXPECT_LE(stats.median, 4.0);
+}
+
+TEST_P(SynthInvariants, RelationshipsCoverAllEdges) {
+  EXPECT_EQ(eco().relationships.edge_count(),
+            eco().topology.graph.num_edges());
+}
+
+TEST_P(SynthInvariants, EveryIxpParticipantIsValid) {
+  const auto& e = eco();
+  for (const Ixp& ixp : e.ixps.all()) {
+    EXPECT_GE(ixp.participants.size(), 1u);
+    EXPECT_TRUE(is_sorted_unique(ixp.participants));
+    for (NodeId v : ixp.participants) {
+      EXPECT_LT(v, e.num_ases());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SynthInvariants,
+                         ::testing::Values(1ULL, 42ULL, 777ULL, 31337ULL));
+
+}  // namespace
+}  // namespace kcc

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "common/cli.h"
+#include "common/error.h"
+#include "common/table.h"
+#include "io/csv.h"
+
+namespace kcc {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add("alpha", 1);
+  t.add("b", 22);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("|--"), std::string::npos);
+}
+
+TEST(TextTable, ArityMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(TextTable, EmptyHeaderThrows) {
+  EXPECT_THROW(TextTable({}), Error);
+}
+
+TEST(TextTable, FormatsDoublesAndInts) {
+  TextTable t({"i", "d"});
+  t.add(42, 3.14159);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_NE(s.find("3.142"), std::string::npos);
+}
+
+TEST(Formatting, FixedAndPercent) {
+  EXPECT_EQ(fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(fixed(-0.5, 1), "-0.5");
+  EXPECT_EQ(percent(0.892, 1), "89.2%");
+  EXPECT_EQ(percent(1.0, 0), "100%");
+}
+
+TEST(Cli, ParsesAllForms) {
+  const char* argv[] = {"prog", "--alpha=3", "--flag", "positional"};
+  CliArgs args(4, argv, {"alpha", "flag"});
+  EXPECT_EQ(args.get_int("alpha", 0), 3);
+  EXPECT_TRUE(args.get_bool("flag", false));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "positional");
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  CliArgs args(1, argv, {"x"});
+  EXPECT_EQ(args.get_int("x", 9), 9);
+  EXPECT_EQ(args.get_string("x", "d"), "d");
+  EXPECT_DOUBLE_EQ(args.get_double("x", 0.5), 0.5);
+  EXPECT_FALSE(args.has("x"));
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  const char* argv[] = {"prog", "--nope=1"};
+  EXPECT_THROW(CliArgs(2, argv, {"known"}), Error);
+}
+
+TEST(Cli, BadNumberThrows) {
+  const char* argv[] = {"prog", "--n=abc"};
+  CliArgs args(2, argv, {"n"});
+  EXPECT_THROW(args.get_int("n", 0), Error);
+  EXPECT_THROW(args.get_double("n", 0.0), Error);
+}
+
+TEST(Cli, BoolParsing) {
+  const char* argv[] = {"prog", "--a=true", "--b=0", "--c=maybe"};
+  CliArgs args(4, argv, {"a", "b", "c"});
+  EXPECT_TRUE(args.get_bool("a", false));
+  EXPECT_FALSE(args.get_bool("b", true));
+  EXPECT_THROW(args.get_bool("c", false), Error);
+}
+
+TEST(Csv, EscapesSpecialCells) {
+  CsvWriter csv({"a", "b"});
+  csv.add_row({"plain", "with,comma"});
+  csv.add_row({"quote\"inside", "multi\nline"});
+  const std::string s = csv.to_string();
+  EXPECT_NE(s.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(s.find("\"quote\"\"inside\""), std::string::npos);
+  EXPECT_NE(s.find("plain,"), std::string::npos);  // plain cells unquoted
+}
+
+TEST(Csv, ArityMismatchThrows) {
+  CsvWriter csv({"a"});
+  EXPECT_THROW(csv.add_row({"1", "2"}), Error);
+}
+
+}  // namespace
+}  // namespace kcc

@@ -1,0 +1,180 @@
+#include "data/tag_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "cpm/cpm.h"
+#include "test_helpers.h"
+
+namespace kcc {
+namespace {
+
+Community make_community(std::size_t k, CommunityId id, NodeSet nodes) {
+  Community c;
+  c.k = k;
+  c.id = id;
+  c.nodes = std::move(nodes);
+  return c;
+}
+
+IxpDataset make_ixps() {
+  std::vector<Ixp> ixps;
+  ixps.push_back({"BIG", "DE", {0, 1, 2, 3, 4, 5, 6, 7}});
+  ixps.push_back({"SMALL", "NZ", {2, 3, 8}});
+  ixps.push_back({"EMPTYISH", "US", {9}});
+  return IxpDataset(std::move(ixps));
+}
+
+GeoDataset make_geo() {
+  std::vector<Country> countries{{"DE", "EU"}, {"NZ", "OC"}, {"US", "NA"}};
+  std::vector<std::vector<CountryId>> locations{
+      {0}, {0}, {0, 1}, {1}, {0}, {0}, {0}, {0}, {1}, {2}};
+  return GeoDataset(std::move(countries), std::move(locations));
+}
+
+TEST(MaxShare, PicksLargestOverlap) {
+  const auto c = make_community(3, 0, {2, 3, 8});
+  const auto share = max_share_ixp(make_ixps(), c);
+  ASSERT_TRUE(share.has_value());
+  EXPECT_EQ(share->ixp, 1u);  // SMALL contains all three
+  EXPECT_EQ(share->shared, 3u);
+  EXPECT_DOUBLE_EQ(share->fraction, 1.0);
+  EXPECT_TRUE(share->full_share);
+}
+
+TEST(MaxShare, PartialOverlap) {
+  const auto c = make_community(3, 0, {0, 1, 8});
+  const auto share = max_share_ixp(make_ixps(), c);
+  ASSERT_TRUE(share.has_value());
+  EXPECT_EQ(share->ixp, 0u);  // BIG shares {0,1}
+  EXPECT_EQ(share->shared, 2u);
+  EXPECT_FALSE(share->full_share);
+}
+
+TEST(MaxShare, NoSharedMember) {
+  std::vector<Ixp> ixps;
+  ixps.push_back({"X", "DE", {5}});
+  const IxpDataset dataset(std::move(ixps));
+  const auto c = make_community(3, 0, {1, 2});
+  EXPECT_FALSE(max_share_ixp(dataset, c).has_value());
+}
+
+TEST(FullShare, ListsEveryContainingIxp) {
+  const auto c = make_community(3, 0, {2, 3});
+  const auto full = full_share_ixps(make_ixps(), c);
+  EXPECT_EQ(full, (std::vector<IxpId>{0, 1}));  // both contain {2,3}
+  const auto c2 = make_community(3, 0, {2, 3, 8});
+  EXPECT_EQ(full_share_ixps(make_ixps(), c2), (std::vector<IxpId>{1}));
+  const auto c3 = make_community(3, 0, {0, 8, 9});
+  EXPECT_TRUE(full_share_ixps(make_ixps(), c3).empty());
+}
+
+TEST(ContainingCountries, IntersectsLocations) {
+  const GeoDataset geo = make_geo();
+  // Nodes 0,1,2 all have DE.
+  EXPECT_EQ(containing_countries(geo, make_community(3, 0, {0, 1, 2})),
+            (std::vector<CountryId>{0}));
+  // Nodes 2,3 share NZ.
+  EXPECT_EQ(containing_countries(geo, make_community(3, 0, {2, 3})),
+            (std::vector<CountryId>{1}));
+  // Nodes 3,9: NZ vs US -> none.
+  EXPECT_TRUE(containing_countries(geo, make_community(3, 0, {3, 9})).empty());
+}
+
+TEST(DeriveBands, ThreeBandStructure) {
+  // Full-share communities at k in {3,4,5} and {10,11}, gap at 6..9.
+  std::vector<CommunityTagProfile> profiles;
+  for (std::size_t k : {3u, 4u, 5u, 10u, 11u}) {
+    CommunityTagProfile p;
+    p.k = k;
+    p.full_share = {0};
+    profiles.push_back(p);
+  }
+  for (std::size_t k : {6u, 7u, 8u, 9u}) {
+    CommunityTagProfile p;
+    p.k = k;
+    profiles.push_back(p);
+  }
+  const auto bands = derive_bands(profiles, 2, 12);
+  EXPECT_EQ(bands.root_max_k, 5u);
+  EXPECT_EQ(bands.trunk_max_k, 9u);
+}
+
+TEST(DeriveBands, FallbackWhenNoGap) {
+  std::vector<CommunityTagProfile> profiles;
+  CommunityTagProfile p;
+  p.k = 4;
+  p.full_share = {0};
+  profiles.push_back(p);
+  const BandThresholds fallback{7, 9};
+  const auto bands = derive_bands(profiles, 2, 10, fallback);
+  EXPECT_EQ(bands.root_max_k, 7u);
+  EXPECT_EQ(bands.trunk_max_k, 9u);
+}
+
+TEST(DeriveBands, FallbackWhenNoFullShareAtAll) {
+  const auto bands = derive_bands({}, 2, 10, BandThresholds{3, 6});
+  EXPECT_EQ(bands.root_max_k, 3u);
+  EXPECT_EQ(bands.trunk_max_k, 6u);
+}
+
+TEST(SummarizeBands, AggregatesPerBand) {
+  std::vector<CommunityTagProfile> profiles;
+  CommunityTagProfile root;
+  root.k = 3;
+  root.size = 4;
+  root.full_share = {1};
+  root.containing_country = {0};
+  root.on_ixp_fraction = 1.0;
+  profiles.push_back(root);
+  CommunityTagProfile trunk;
+  trunk.k = 20;
+  trunk.size = 30;
+  trunk.on_ixp_fraction = 0.9;
+  profiles.push_back(trunk);
+  CommunityTagProfile crown;
+  crown.k = 30;
+  crown.size = 31;
+  crown.full_share = {0};
+  crown.on_ixp_fraction = 1.0;
+  profiles.push_back(crown);
+
+  const auto summary = summarize_bands(profiles, BandThresholds{14, 28});
+  ASSERT_EQ(summary.size(), 3u);
+  EXPECT_EQ(summary[0].band, Band::kRoot);
+  EXPECT_EQ(summary[0].community_count, 1u);
+  EXPECT_EQ(summary[0].with_full_share_ixp, 1u);
+  EXPECT_EQ(summary[0].country_contained, 1u);
+  EXPECT_DOUBLE_EQ(summary[0].mean_size, 4.0);
+  EXPECT_EQ(summary[1].band, Band::kTrunk);
+  EXPECT_EQ(summary[1].with_full_share_ixp, 0u);
+  EXPECT_EQ(summary[2].band, Band::kCrown);
+  EXPECT_EQ(summary[2].community_count, 1u);
+}
+
+TEST(ProfileCommunities, EndToEndOnSmallGraph) {
+  // Two 4-cliques sharing 2 nodes; IXP contains the first clique fully.
+  const Graph g = testing::overlapping_cliques(4, 4, 2);
+  std::vector<Ixp> ixps;
+  ixps.push_back({"ONE", "DE", {0, 1, 2, 3}});
+  const IxpDataset ixp_data(std::move(ixps));
+  std::vector<Country> countries{{"DE", "EU"}};
+  std::vector<std::vector<CountryId>> locations(g.num_nodes(), {0});
+  const GeoDataset geo(std::move(countries), std::move(locations));
+
+  const CpmResult cpm = run_cpm(g);
+  const CommunityTree tree = CommunityTree::build(cpm);
+  const auto profiles = profile_communities(cpm, tree, ixp_data, geo);
+  EXPECT_EQ(profiles.size(), cpm.total_communities());
+  std::size_t mains = 0, full_shares = 0;
+  for (const auto& p : profiles) {
+    mains += p.is_main ? 1 : 0;
+    full_shares += p.full_share.empty() ? 0 : 1;
+    // Everyone lives in DE.
+    EXPECT_EQ(p.containing_country, (std::vector<CountryId>{0}));
+  }
+  EXPECT_EQ(mains, cpm.max_k - cpm.min_k + 1);
+  EXPECT_GE(full_shares, 1u);
+}
+
+}  // namespace
+}  // namespace kcc

@@ -1,0 +1,122 @@
+#include "data/tags.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace kcc {
+namespace {
+
+GeoDataset make_geo() {
+  // 0: DE (EU), 1: FR (EU), 2: US (NA), 3: JP (AS)
+  std::vector<Country> countries{{"DE", "EU"}, {"FR", "EU"}, {"US", "NA"},
+                                 {"JP", "AS"}};
+  // node 0: DE only (national)
+  // node 1: DE+FR (continental)
+  // node 2: DE+US (worldwide)
+  // node 3: none (unknown)
+  // node 4: US only (national)
+  // node 5: DE+FR+JP (worldwide)
+  std::vector<std::vector<CountryId>> locations{
+      {0}, {0, 1}, {0, 2}, {}, {2}, {0, 1, 3}};
+  return GeoDataset(std::move(countries), std::move(locations));
+}
+
+IxpDataset make_ixps() {
+  std::vector<Ixp> ixps;
+  ixps.push_back({"ALPHA", "DE", {0, 1, 2}});
+  ixps.push_back({"BETA", "US", {2, 4}});
+  return IxpDataset(std::move(ixps));
+}
+
+TEST(GeoTags, Classification) {
+  const GeoDataset geo = make_geo();
+  EXPECT_EQ(classify_geo(geo, 0), GeoTag::kNational);
+  EXPECT_EQ(classify_geo(geo, 1), GeoTag::kContinental);
+  EXPECT_EQ(classify_geo(geo, 2), GeoTag::kWorldwide);
+  EXPECT_EQ(classify_geo(geo, 3), GeoTag::kUnknown);
+  EXPECT_EQ(classify_geo(geo, 5), GeoTag::kWorldwide);
+  // Nodes beyond the dataset are unknown.
+  EXPECT_EQ(classify_geo(geo, 99), GeoTag::kUnknown);
+}
+
+TEST(GeoTags, Counts) {
+  const auto counts = count_geo_tags(make_geo(), 6);
+  EXPECT_EQ(counts.national, 2u);
+  EXPECT_EQ(counts.continental, 1u);
+  EXPECT_EQ(counts.worldwide, 2u);
+  EXPECT_EQ(counts.unknown, 1u);
+}
+
+TEST(GeoTags, Names) {
+  EXPECT_STREQ(geo_tag_name(GeoTag::kNational), "national");
+  EXPECT_STREQ(geo_tag_name(GeoTag::kContinental), "continental");
+  EXPECT_STREQ(geo_tag_name(GeoTag::kWorldwide), "worldwide");
+  EXPECT_STREQ(geo_tag_name(GeoTag::kUnknown), "unknown");
+}
+
+TEST(IxpTags, Counts) {
+  const auto counts = count_ixp_tags(make_ixps(), 6);
+  EXPECT_EQ(counts.on_ixp, 4u);     // 0, 1, 2, 4
+  EXPECT_EQ(counts.not_on_ixp, 2u); // 3, 5
+}
+
+TEST(IxpTags, OnIxpFraction) {
+  const IxpDataset ixps = make_ixps();
+  EXPECT_DOUBLE_EQ(on_ixp_fraction(ixps, {0, 1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(on_ixp_fraction(ixps, {3, 5}), 0.0);
+  EXPECT_DOUBLE_EQ(on_ixp_fraction(ixps, {0, 3}), 0.5);
+  EXPECT_DOUBLE_EQ(on_ixp_fraction(ixps, {}), 0.0);
+}
+
+TEST(GeoTags, TagFraction) {
+  const GeoDataset geo = make_geo();
+  EXPECT_DOUBLE_EQ(geo_tag_fraction(geo, {0, 4}, GeoTag::kNational), 1.0);
+  EXPECT_DOUBLE_EQ(geo_tag_fraction(geo, {0, 3}, GeoTag::kUnknown), 0.5);
+}
+
+TEST(IxpDataset, MembershipQueries) {
+  const IxpDataset ixps = make_ixps();
+  EXPECT_EQ(ixps.count(), 2u);
+  EXPECT_TRUE(ixps.is_on_ixp(0));
+  EXPECT_FALSE(ixps.is_on_ixp(3));
+  EXPECT_FALSE(ixps.is_on_ixp(1000));
+  EXPECT_EQ(ixps.ixps_of(2), (std::vector<IxpId>{0, 1}));
+  EXPECT_TRUE(ixps.ixps_of(3).empty());
+  EXPECT_EQ(ixps.on_ixp_nodes(), (NodeSet{0, 1, 2, 4}));
+}
+
+TEST(IxpDataset, FindByName) {
+  const IxpDataset ixps = make_ixps();
+  EXPECT_EQ(ixps.find("BETA"), 1u);
+  EXPECT_THROW(ixps.find("GAMMA"), Error);
+  EXPECT_THROW(ixps.ixp(5), Error);
+  EXPECT_EQ(ixps.ixp(0).name, "ALPHA");
+}
+
+TEST(IxpDataset, UnsortedParticipantsRejected) {
+  std::vector<Ixp> bad;
+  bad.push_back({"X", "DE", {2, 1}});
+  EXPECT_THROW(IxpDataset(std::move(bad)), Error);
+}
+
+TEST(GeoDataset, Accessors) {
+  const GeoDataset geo = make_geo();
+  EXPECT_EQ(geo.country_count(), 4u);
+  EXPECT_EQ(geo.find_country("US"), 2u);
+  EXPECT_THROW(geo.find_country("XX"), Error);
+  EXPECT_THROW(geo.country(77), Error);
+  EXPECT_EQ(geo.known_node_count(), 5u);
+  EXPECT_EQ(geo.nodes_in_country(0), (NodeSet{0, 1, 2, 5}));  // DE
+  EXPECT_EQ(geo.nodes_in_country(3), (NodeSet{5}));           // JP
+  EXPECT_TRUE(geo.locations_of(1000).empty());
+}
+
+TEST(GeoDataset, LocationOutOfRangeRejected) {
+  std::vector<Country> countries{{"DE", "EU"}};
+  std::vector<std::vector<CountryId>> locations{{5}};
+  EXPECT_THROW(GeoDataset(std::move(countries), std::move(locations)), Error);
+}
+
+}  // namespace
+}  // namespace kcc

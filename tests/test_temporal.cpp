@@ -1,0 +1,131 @@
+#include "analysis/temporal.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_algorithms.h"
+#include "test_helpers.h"
+
+namespace kcc {
+namespace {
+
+using testing::random_graph;
+
+TEST(ChurnStep, DeterministicInSeed) {
+  const Graph g = random_graph(100, 0.1, 3);
+  ChurnParams params;
+  const Graph a = churn_step(g, params, 11);
+  const Graph b = churn_step(g, params, 11);
+  const Graph c = churn_step(g, params, 12);
+  EXPECT_EQ(a.edges(), b.edges());
+  EXPECT_NE(a.edges(), c.edges());
+}
+
+TEST(ChurnStep, PreservesNodeCountAndMinDegree) {
+  const Graph g = random_graph(80, 0.15, 5);
+  ChurnParams params;
+  params.edge_drop_fraction = 0.3;
+  const Graph next = churn_step(g, params, 1);
+  EXPECT_EQ(next.num_nodes(), g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.degree(v) >= 1) {
+      EXPECT_GE(next.degree(v), 1u) << "node " << v << " stranded";
+    }
+  }
+}
+
+TEST(ChurnStep, ZeroChurnKeepsDroppableStructure) {
+  const Graph g = random_graph(50, 0.2, 7);
+  ChurnParams params;
+  params.edge_drop_fraction = 0.0;
+  params.stub_rewire_fraction = 0.0;
+  params.new_edges = 0;
+  const Graph next = churn_step(g, params, 1);
+  EXPECT_EQ(next.edges(), g.edges());
+}
+
+TEST(ChurnStep, TooSmallGraphThrows) {
+  EXPECT_THROW(churn_step(testing::complete_graph(4), ChurnParams{}, 1),
+               Error);
+}
+
+TEST(MatchCommunities, IdentityIsAllSurvivals) {
+  const std::vector<NodeSet> cover{{0, 1, 2}, {4, 5, 6, 7}};
+  const auto events = match_communities(cover, cover);
+  ASSERT_EQ(events.size(), 2u);
+  for (const auto& e : events) {
+    EXPECT_EQ(e.kind, CommunityEvent::Kind::kSurvived);
+    EXPECT_DOUBLE_EQ(e.jaccard, 1.0);
+    EXPECT_EQ(e.size_change, 0);
+  }
+}
+
+TEST(MatchCommunities, BirthAndDeath) {
+  const std::vector<NodeSet> before{{0, 1, 2}, {4, 5, 6}};
+  const std::vector<NodeSet> after{{0, 1, 2, 3}, {8, 9, 10}};
+  const auto events = match_communities(before, after);
+  std::size_t survived = 0, born = 0, died = 0;
+  for (const auto& e : events) {
+    switch (e.kind) {
+      case CommunityEvent::Kind::kSurvived:
+        ++survived;
+        EXPECT_EQ(e.size_change, 1);
+        break;
+      case CommunityEvent::Kind::kBorn:
+        ++born;
+        break;
+      case CommunityEvent::Kind::kDied:
+        ++died;
+        break;
+    }
+  }
+  EXPECT_EQ(survived, 1u);
+  EXPECT_EQ(born, 1u);
+  EXPECT_EQ(died, 1u);
+}
+
+TEST(MatchCommunities, LowJaccardIsNotASurvival) {
+  const std::vector<NodeSet> before{{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}};
+  const std::vector<NodeSet> after{{0, 20, 21, 22, 23, 24, 25, 26, 27, 28}};
+  const auto events = match_communities(before, after, 0.3);
+  ASSERT_EQ(events.size(), 2u);  // one death, one birth
+  EXPECT_EQ(events[0].kind, CommunityEvent::Kind::kDied);
+  EXPECT_EQ(events[1].kind, CommunityEvent::Kind::kBorn);
+}
+
+TEST(MatchCommunities, EmptySides) {
+  EXPECT_TRUE(match_communities({}, {}).empty());
+  const auto births = match_communities({}, {{0, 1}});
+  ASSERT_EQ(births.size(), 1u);
+  EXPECT_EQ(births[0].kind, CommunityEvent::Kind::kBorn);
+  const auto deaths = match_communities({{0, 1}}, {});
+  ASSERT_EQ(deaths.size(), 1u);
+  EXPECT_EQ(deaths[0].kind, CommunityEvent::Kind::kDied);
+}
+
+TEST(TrackCommunities, RunsAndCounts) {
+  const Graph g = random_graph(120, 0.08, 21);
+  ChurnParams params;
+  params.new_edges = 30;
+  const TemporalSummary summary = track_communities(g, 3, 3, params, 5);
+  EXPECT_EQ(summary.steps, 3u);
+  EXPECT_EQ(summary.community_counts.size(), 4u);
+  EXPECT_GT(summary.community_counts[0], 0u);
+  EXPECT_GT(summary.survivals + summary.births + summary.deaths, 0u);
+  if (summary.survivals > 0) {
+    EXPECT_GT(summary.mean_survivor_jaccard, 0.0);
+    EXPECT_LE(summary.mean_survivor_jaccard, 1.0);
+  }
+}
+
+TEST(TrackCommunities, GentleChurnMostlySurvives) {
+  const Graph g = random_graph(150, 0.08, 33);
+  ChurnParams gentle;
+  gentle.edge_drop_fraction = 0.005;
+  gentle.stub_rewire_fraction = 0.01;
+  gentle.new_edges = 5;
+  const TemporalSummary summary = track_communities(g, 3, 2, gentle, 9);
+  EXPECT_GT(summary.survivals, summary.deaths);
+}
+
+}  // namespace
+}  // namespace kcc

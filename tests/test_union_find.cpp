@@ -1,0 +1,98 @@
+#include "common/union_find.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace kcc {
+namespace {
+
+TEST(UnionFind, Singletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.size(), 5u);
+  EXPECT_EQ(uf.set_count(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.find(i), i);
+    EXPECT_EQ(uf.set_size(i), 1u);
+  }
+}
+
+TEST(UnionFind, UniteAndConnected) {
+  UnionFind uf(6);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.unite(2, 3));
+  EXPECT_FALSE(uf.unite(1, 0));  // already merged
+  EXPECT_TRUE(uf.connected(0, 1));
+  EXPECT_FALSE(uf.connected(0, 2));
+  EXPECT_TRUE(uf.unite(1, 3));
+  EXPECT_TRUE(uf.connected(0, 2));
+  EXPECT_EQ(uf.set_count(), 3u);  // {0,1,2,3}, {4}, {5}
+  EXPECT_EQ(uf.set_size(2), 4u);
+}
+
+TEST(UnionFind, GroupsSortedAndComplete) {
+  UnionFind uf(7);
+  uf.unite(5, 2);
+  uf.unite(2, 6);
+  uf.unite(0, 3);
+  const auto groups = uf.groups();
+  ASSERT_EQ(groups.size(), 4u);
+  EXPECT_EQ(groups[0], (std::vector<std::uint32_t>{0, 3}));
+  EXPECT_EQ(groups[1], (std::vector<std::uint32_t>{1}));
+  EXPECT_EQ(groups[2], (std::vector<std::uint32_t>{2, 5, 6}));
+  EXPECT_EQ(groups[3], (std::vector<std::uint32_t>{4}));
+}
+
+TEST(UnionFind, OutOfRangeThrows) {
+  UnionFind uf(3);
+  EXPECT_THROW(uf.find(3), Error);
+}
+
+TEST(UnionFind, Reset) {
+  UnionFind uf(4);
+  uf.unite(0, 1);
+  uf.reset(2);
+  EXPECT_EQ(uf.size(), 2u);
+  EXPECT_EQ(uf.set_count(), 2u);
+  EXPECT_FALSE(uf.connected(0, 1));
+}
+
+TEST(UnionFind, EmptyGroups) {
+  UnionFind uf(0);
+  EXPECT_TRUE(uf.groups().empty());
+  EXPECT_EQ(uf.set_count(), 0u);
+}
+
+// Property: equivalent to a naive label-propagation implementation.
+TEST(UnionFind, RandomizedAgainstNaive) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 2 + rng.next_below(40);
+    UnionFind uf(n);
+    std::vector<std::uint32_t> label(n);
+    for (std::uint32_t i = 0; i < n; ++i) label[i] = i;
+    for (int op = 0; op < 80; ++op) {
+      const auto a = static_cast<std::uint32_t>(rng.next_below(n));
+      const auto b = static_cast<std::uint32_t>(rng.next_below(n));
+      uf.unite(a, b);
+      const std::uint32_t from = label[a], to = label[b];
+      for (auto& l : label) {
+        if (l == from) l = to;
+      }
+    }
+    std::map<std::uint32_t, std::size_t> naive_sizes;
+    for (auto l : label) ++naive_sizes[l];
+    EXPECT_EQ(uf.set_count(), naive_sizes.size());
+    for (std::uint32_t i = 0; i < n; ++i) {
+      for (std::uint32_t j = 0; j < n; ++j) {
+        EXPECT_EQ(uf.connected(i, j), label[i] == label[j]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kcc

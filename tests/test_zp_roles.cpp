@@ -1,0 +1,129 @@
+#include "metrics/zp_roles.h"
+
+#include <gtest/gtest.h>
+
+#include "cpm/cpm.h"
+#include "test_helpers.h"
+
+namespace kcc {
+namespace {
+
+using testing::complete_graph;
+using testing::make_graph;
+
+CommunitySet single_community(std::size_t k, NodeSet nodes) {
+  CommunitySet set;
+  set.k = k;
+  Community c;
+  c.k = k;
+  c.id = 0;
+  c.nodes = std::move(nodes);
+  set.communities.push_back(std::move(c));
+  return set;
+}
+
+TEST(ZpRoles, Classification) {
+  EXPECT_EQ(classify_zp(0.0, 0.0), ZpRole::kUltraPeripheral);
+  EXPECT_EQ(classify_zp(0.0, 0.5), ZpRole::kPeripheral);
+  EXPECT_EQ(classify_zp(0.0, 0.7), ZpRole::kConnector);
+  EXPECT_EQ(classify_zp(0.0, 0.9), ZpRole::kKinless);
+  EXPECT_EQ(classify_zp(3.0, 0.1), ZpRole::kProvincialHub);
+  EXPECT_EQ(classify_zp(3.0, 0.5), ZpRole::kConnectorHub);
+  EXPECT_EQ(classify_zp(3.0, 0.9), ZpRole::kKinlessHub);
+}
+
+TEST(ZpRoles, RoleNames) {
+  EXPECT_STREQ(zp_role_name(ZpRole::kUltraPeripheral), "ultra-peripheral");
+  EXPECT_STREQ(zp_role_name(ZpRole::kKinlessHub), "kinless-hub");
+}
+
+TEST(ZpRoles, SymmetricCliqueHasZeroZ) {
+  // In a clique, every internal degree equals the mean: z = 0 everywhere.
+  const Graph g = complete_graph(5);
+  const auto scores = zp_scores(g, single_community(3, {0, 1, 2, 3, 4}));
+  ASSERT_EQ(scores.size(), 5u);
+  for (const auto& s : scores) {
+    EXPECT_DOUBLE_EQ(s.z, 0.0);
+    EXPECT_DOUBLE_EQ(s.participation, 0.0);  // all links inside
+  }
+}
+
+TEST(ZpRoles, HubHasPositiveZ) {
+  // Star inside the community: hub 0 has higher internal degree.
+  const Graph g = make_graph(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  const auto scores = zp_scores(g, single_community(2, {0, 1, 2, 3, 4}));
+  double hub_z = 0.0, leaf_z = 0.0;
+  for (const auto& s : scores) {
+    if (s.node == 0) {
+      hub_z = s.z;
+    } else {
+      leaf_z = s.z;
+    }
+  }
+  EXPECT_GT(hub_z, 1.5);
+  EXPECT_LT(leaf_z, 0.0);
+}
+
+TEST(ZpRoles, ParticipationSplitsAcrossCommunities) {
+  // Node 2 belongs to two triangles; its links split 50/50.
+  const Graph g =
+      make_graph(5, {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {2, 4}, {3, 4}});
+  const CpmResult r = run_cpm(g);
+  const auto scores = zp_scores(g, r.at(3));
+  double p2 = -1.0;
+  std::size_t rows_for_2 = 0;
+  for (const auto& s : scores) {
+    if (s.node == 2) {
+      p2 = s.participation;
+      ++rows_for_2;
+    }
+  }
+  ASSERT_EQ(rows_for_2, 2u);  // one row per membership
+  EXPECT_NEAR(p2, 0.5, 1e-9);
+}
+
+TEST(ZpRoles, ExternalLinksRaiseParticipation) {
+  // Triangle community with node 0 having 3 external pendants.
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(1, 2);
+  b.add_edge(0, 3);
+  b.add_edge(0, 4);
+  b.add_edge(0, 5);
+  const Graph g = b.build();
+  const auto scores = zp_scores(g, single_community(3, {0, 1, 2}));
+  for (const auto& s : scores) {
+    if (s.node == 0) {
+      // 2/5 inside, 3/5 outside: P = 1 - (0.4^2 + 0.6^2) = 0.48.
+      EXPECT_NEAR(s.participation, 0.48, 1e-9);
+    } else {
+      EXPECT_DOUBLE_EQ(s.participation, 0.0);
+    }
+  }
+}
+
+TEST(ZpRoles, HistogramCountsAllScores) {
+  const Graph g = testing::random_graph(30, 0.3, 3);
+  const CpmResult r = run_cpm(g);
+  const auto scores = zp_scores(g, r.at(3));
+  const auto histogram = zp_role_histogram(scores);
+  ASSERT_EQ(histogram.size(), 7u);
+  std::size_t total = 0;
+  for (auto h : histogram) total += h;
+  EXPECT_EQ(total, scores.size());
+}
+
+TEST(ZpRoles, IsolatedNodeCommunity) {
+  GraphBuilder b;
+  b.ensure_nodes(3);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  const auto scores = zp_scores(g, single_community(2, {2}));
+  ASSERT_EQ(scores.size(), 1u);
+  EXPECT_DOUBLE_EQ(scores[0].z, 0.0);
+  EXPECT_DOUBLE_EQ(scores[0].participation, 0.0);
+}
+
+}  // namespace
+}  // namespace kcc
