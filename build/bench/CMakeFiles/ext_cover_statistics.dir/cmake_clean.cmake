@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cover_statistics.dir/ext_cover_statistics.cpp.o"
+  "CMakeFiles/ext_cover_statistics.dir/ext_cover_statistics.cpp.o.d"
+  "CMakeFiles/ext_cover_statistics.dir/harness.cpp.o"
+  "CMakeFiles/ext_cover_statistics.dir/harness.cpp.o.d"
+  "ext_cover_statistics"
+  "ext_cover_statistics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cover_statistics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

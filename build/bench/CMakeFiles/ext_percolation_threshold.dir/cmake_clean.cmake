@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_percolation_threshold.dir/ext_percolation_threshold.cpp.o"
+  "CMakeFiles/ext_percolation_threshold.dir/ext_percolation_threshold.cpp.o.d"
+  "CMakeFiles/ext_percolation_threshold.dir/harness.cpp.o"
+  "CMakeFiles/ext_percolation_threshold.dir/harness.cpp.o.d"
+  "ext_percolation_threshold"
+  "ext_percolation_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_percolation_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_relationships.dir/ext_relationships.cpp.o"
+  "CMakeFiles/ext_relationships.dir/ext_relationships.cpp.o.d"
+  "CMakeFiles/ext_relationships.dir/harness.cpp.o"
+  "CMakeFiles/ext_relationships.dir/harness.cpp.o.d"
+  "ext_relationships"
+  "ext_relationships.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_relationships.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

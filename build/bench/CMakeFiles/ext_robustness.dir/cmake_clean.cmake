@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_robustness.dir/ext_robustness.cpp.o"
+  "CMakeFiles/ext_robustness.dir/ext_robustness.cpp.o.d"
+  "CMakeFiles/ext_robustness.dir/harness.cpp.o"
+  "CMakeFiles/ext_robustness.dir/harness.cpp.o.d"
+  "ext_robustness"
+  "ext_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

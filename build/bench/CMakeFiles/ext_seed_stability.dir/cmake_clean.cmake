@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_seed_stability.dir/ext_seed_stability.cpp.o"
+  "CMakeFiles/ext_seed_stability.dir/ext_seed_stability.cpp.o.d"
+  "CMakeFiles/ext_seed_stability.dir/harness.cpp.o"
+  "CMakeFiles/ext_seed_stability.dir/harness.cpp.o.d"
+  "ext_seed_stability"
+  "ext_seed_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_seed_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

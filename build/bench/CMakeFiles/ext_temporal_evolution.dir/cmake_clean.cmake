@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_temporal_evolution.dir/ext_temporal_evolution.cpp.o"
+  "CMakeFiles/ext_temporal_evolution.dir/ext_temporal_evolution.cpp.o.d"
+  "CMakeFiles/ext_temporal_evolution.dir/harness.cpp.o"
+  "CMakeFiles/ext_temporal_evolution.dir/harness.cpp.o.d"
+  "ext_temporal_evolution"
+  "ext_temporal_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_temporal_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

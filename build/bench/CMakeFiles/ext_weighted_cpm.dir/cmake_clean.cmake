@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_weighted_cpm.dir/ext_weighted_cpm.cpp.o"
+  "CMakeFiles/ext_weighted_cpm.dir/ext_weighted_cpm.cpp.o.d"
+  "CMakeFiles/ext_weighted_cpm.dir/harness.cpp.o"
+  "CMakeFiles/ext_weighted_cpm.dir/harness.cpp.o.d"
+  "ext_weighted_cpm"
+  "ext_weighted_cpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_weighted_cpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_zp_roles.dir/ext_zp_roles.cpp.o"
+  "CMakeFiles/ext_zp_roles.dir/ext_zp_roles.cpp.o.d"
+  "CMakeFiles/ext_zp_roles.dir/harness.cpp.o"
+  "CMakeFiles/ext_zp_roles.dir/harness.cpp.o.d"
+  "ext_zp_roles"
+  "ext_zp_roles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_zp_roles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext_zp_roles.
+# This may be replaced when dependencies are built.

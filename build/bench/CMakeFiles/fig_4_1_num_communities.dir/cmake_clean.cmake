@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_4_1_num_communities.dir/fig_4_1_num_communities.cpp.o"
+  "CMakeFiles/fig_4_1_num_communities.dir/fig_4_1_num_communities.cpp.o.d"
+  "CMakeFiles/fig_4_1_num_communities.dir/harness.cpp.o"
+  "CMakeFiles/fig_4_1_num_communities.dir/harness.cpp.o.d"
+  "fig_4_1_num_communities"
+  "fig_4_1_num_communities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_4_1_num_communities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig_4_1_num_communities.
+# This may be replaced when dependencies are built.

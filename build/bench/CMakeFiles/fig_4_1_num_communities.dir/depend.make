@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_4_1_num_communities.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_4_2_community_tree.dir/fig_4_2_community_tree.cpp.o"
+  "CMakeFiles/fig_4_2_community_tree.dir/fig_4_2_community_tree.cpp.o.d"
+  "CMakeFiles/fig_4_2_community_tree.dir/harness.cpp.o"
+  "CMakeFiles/fig_4_2_community_tree.dir/harness.cpp.o.d"
+  "fig_4_2_community_tree"
+  "fig_4_2_community_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_4_2_community_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

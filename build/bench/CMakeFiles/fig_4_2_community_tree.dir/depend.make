@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_4_2_community_tree.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_4_3_community_size.dir/fig_4_3_community_size.cpp.o"
+  "CMakeFiles/fig_4_3_community_size.dir/fig_4_3_community_size.cpp.o.d"
+  "CMakeFiles/fig_4_3_community_size.dir/harness.cpp.o"
+  "CMakeFiles/fig_4_3_community_size.dir/harness.cpp.o.d"
+  "fig_4_3_community_size"
+  "fig_4_3_community_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_4_3_community_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

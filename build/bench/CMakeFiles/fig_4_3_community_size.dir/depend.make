@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_4_3_community_size.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_4_4a_link_density.dir/fig_4_4a_link_density.cpp.o"
+  "CMakeFiles/fig_4_4a_link_density.dir/fig_4_4a_link_density.cpp.o.d"
+  "CMakeFiles/fig_4_4a_link_density.dir/harness.cpp.o"
+  "CMakeFiles/fig_4_4a_link_density.dir/harness.cpp.o.d"
+  "fig_4_4a_link_density"
+  "fig_4_4a_link_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_4_4a_link_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

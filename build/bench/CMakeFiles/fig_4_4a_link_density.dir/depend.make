@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_4_4a_link_density.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_4_4b_avg_odf.dir/fig_4_4b_avg_odf.cpp.o"
+  "CMakeFiles/fig_4_4b_avg_odf.dir/fig_4_4b_avg_odf.cpp.o.d"
+  "CMakeFiles/fig_4_4b_avg_odf.dir/harness.cpp.o"
+  "CMakeFiles/fig_4_4b_avg_odf.dir/harness.cpp.o.d"
+  "fig_4_4b_avg_odf"
+  "fig_4_4b_avg_odf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_4_4b_avg_odf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_4_4b_avg_odf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_baselines.dir/perf_baselines.cpp.o"
+  "CMakeFiles/perf_baselines.dir/perf_baselines.cpp.o.d"
+  "perf_baselines"
+  "perf_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

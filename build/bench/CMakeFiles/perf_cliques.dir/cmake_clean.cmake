@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_cliques.dir/perf_cliques.cpp.o"
+  "CMakeFiles/perf_cliques.dir/perf_cliques.cpp.o.d"
+  "perf_cliques"
+  "perf_cliques.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_cliques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_cpm.dir/perf_cpm.cpp.o"
+  "CMakeFiles/perf_cpm.dir/perf_cpm.cpp.o.d"
+  "perf_cpm"
+  "perf_cpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_cpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

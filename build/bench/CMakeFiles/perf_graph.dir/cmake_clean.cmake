@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_graph.dir/perf_graph.cpp.o"
+  "CMakeFiles/perf_graph.dir/perf_graph.cpp.o.d"
+  "perf_graph"
+  "perf_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec_1_baseline_comparison.dir/harness.cpp.o"
+  "CMakeFiles/sec_1_baseline_comparison.dir/harness.cpp.o.d"
+  "CMakeFiles/sec_1_baseline_comparison.dir/sec_1_baseline_comparison.cpp.o"
+  "CMakeFiles/sec_1_baseline_comparison.dir/sec_1_baseline_comparison.cpp.o.d"
+  "sec_1_baseline_comparison"
+  "sec_1_baseline_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec_1_baseline_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec_1_baseline_comparison.
+# This may be replaced when dependencies are built.

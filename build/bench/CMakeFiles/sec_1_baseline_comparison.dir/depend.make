@@ -1,0 +1,2 @@
+# Empty dependencies file for sec_1_baseline_comparison.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec_3_clique_histogram.dir/harness.cpp.o"
+  "CMakeFiles/sec_3_clique_histogram.dir/harness.cpp.o.d"
+  "CMakeFiles/sec_3_clique_histogram.dir/sec_3_clique_histogram.cpp.o"
+  "CMakeFiles/sec_3_clique_histogram.dir/sec_3_clique_histogram.cpp.o.d"
+  "sec_3_clique_histogram"
+  "sec_3_clique_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec_3_clique_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec_3_clique_histogram.
+# This may be replaced when dependencies are built.

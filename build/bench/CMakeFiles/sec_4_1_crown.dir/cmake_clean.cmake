@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec_4_1_crown.dir/harness.cpp.o"
+  "CMakeFiles/sec_4_1_crown.dir/harness.cpp.o.d"
+  "CMakeFiles/sec_4_1_crown.dir/sec_4_1_crown.cpp.o"
+  "CMakeFiles/sec_4_1_crown.dir/sec_4_1_crown.cpp.o.d"
+  "sec_4_1_crown"
+  "sec_4_1_crown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec_4_1_crown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

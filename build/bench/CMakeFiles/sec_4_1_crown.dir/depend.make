@@ -1,0 +1,2 @@
+# Empty dependencies file for sec_4_1_crown.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec_4_2_trunk.dir/harness.cpp.o"
+  "CMakeFiles/sec_4_2_trunk.dir/harness.cpp.o.d"
+  "CMakeFiles/sec_4_2_trunk.dir/sec_4_2_trunk.cpp.o"
+  "CMakeFiles/sec_4_2_trunk.dir/sec_4_2_trunk.cpp.o.d"
+  "sec_4_2_trunk"
+  "sec_4_2_trunk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec_4_2_trunk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec_4_3_root.dir/harness.cpp.o"
+  "CMakeFiles/sec_4_3_root.dir/harness.cpp.o.d"
+  "CMakeFiles/sec_4_3_root.dir/sec_4_3_root.cpp.o"
+  "CMakeFiles/sec_4_3_root.dir/sec_4_3_root.cpp.o.d"
+  "sec_4_3_root"
+  "sec_4_3_root.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec_4_3_root.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

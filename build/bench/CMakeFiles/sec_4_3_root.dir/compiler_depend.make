@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec_4_3_root.
+# This may be replaced when dependencies are built.

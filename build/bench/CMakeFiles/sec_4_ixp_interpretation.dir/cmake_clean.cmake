@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec_4_ixp_interpretation.dir/harness.cpp.o"
+  "CMakeFiles/sec_4_ixp_interpretation.dir/harness.cpp.o.d"
+  "CMakeFiles/sec_4_ixp_interpretation.dir/sec_4_ixp_interpretation.cpp.o"
+  "CMakeFiles/sec_4_ixp_interpretation.dir/sec_4_ixp_interpretation.cpp.o.d"
+  "sec_4_ixp_interpretation"
+  "sec_4_ixp_interpretation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec_4_ixp_interpretation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec_4_overlap_analysis.dir/harness.cpp.o"
+  "CMakeFiles/sec_4_overlap_analysis.dir/harness.cpp.o.d"
+  "CMakeFiles/sec_4_overlap_analysis.dir/sec_4_overlap_analysis.cpp.o"
+  "CMakeFiles/sec_4_overlap_analysis.dir/sec_4_overlap_analysis.cpp.o.d"
+  "sec_4_overlap_analysis"
+  "sec_4_overlap_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec_4_overlap_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

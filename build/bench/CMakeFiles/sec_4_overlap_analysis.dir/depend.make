@@ -1,0 +1,2 @@
+# Empty dependencies file for sec_4_overlap_analysis.
+# This may be replaced when dependencies are built.

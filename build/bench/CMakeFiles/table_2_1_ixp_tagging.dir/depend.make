@@ -1,0 +1,2 @@
+# Empty dependencies file for table_2_1_ixp_tagging.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_2_2_geo_tagging.dir/harness.cpp.o"
+  "CMakeFiles/table_2_2_geo_tagging.dir/harness.cpp.o.d"
+  "CMakeFiles/table_2_2_geo_tagging.dir/table_2_2_geo_tagging.cpp.o"
+  "CMakeFiles/table_2_2_geo_tagging.dir/table_2_2_geo_tagging.cpp.o.d"
+  "table_2_2_geo_tagging"
+  "table_2_2_geo_tagging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_2_2_geo_tagging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

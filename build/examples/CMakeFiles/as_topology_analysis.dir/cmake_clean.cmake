@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/as_topology_analysis.dir/as_topology_analysis.cpp.o"
+  "CMakeFiles/as_topology_analysis.dir/as_topology_analysis.cpp.o.d"
+  "as_topology_analysis"
+  "as_topology_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/as_topology_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/community_evolution.dir/community_evolution.cpp.o"
+  "CMakeFiles/community_evolution.dir/community_evolution.cpp.o.d"
+  "community_evolution"
+  "community_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/community_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ixp_communities.dir/ixp_communities.cpp.o"
+  "CMakeFiles/ixp_communities.dir/ixp_communities.cpp.o.d"
+  "ixp_communities"
+  "ixp_communities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ixp_communities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

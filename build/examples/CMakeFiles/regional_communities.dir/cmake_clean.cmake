@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regional_communities.dir/regional_communities.cpp.o"
+  "CMakeFiles/regional_communities.dir/regional_communities.cpp.o.d"
+  "regional_communities"
+  "regional_communities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regional_communities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

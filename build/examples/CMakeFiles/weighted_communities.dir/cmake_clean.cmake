@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_communities.dir/weighted_communities.cpp.o"
+  "CMakeFiles/weighted_communities.dir/weighted_communities.cpp.o.d"
+  "weighted_communities"
+  "weighted_communities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_communities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/percolation_threshold.cpp" "src/CMakeFiles/kcc_core.dir/analysis/percolation_threshold.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/analysis/percolation_threshold.cpp.o.d"
+  "/root/repo/src/analysis/pipeline.cpp" "src/CMakeFiles/kcc_core.dir/analysis/pipeline.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/analysis/pipeline.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/CMakeFiles/kcc_core.dir/analysis/report.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/analysis/report.cpp.o.d"
+  "/root/repo/src/analysis/robustness.cpp" "src/CMakeFiles/kcc_core.dir/analysis/robustness.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/analysis/robustness.cpp.o.d"
+  "/root/repo/src/analysis/temporal.cpp" "src/CMakeFiles/kcc_core.dir/analysis/temporal.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/analysis/temporal.cpp.o.d"
+  "/root/repo/src/baselines/gce.cpp" "src/CMakeFiles/kcc_core.dir/baselines/gce.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/baselines/gce.cpp.o.d"
+  "/root/repo/src/baselines/kcore.cpp" "src/CMakeFiles/kcc_core.dir/baselines/kcore.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/baselines/kcore.cpp.o.d"
+  "/root/repo/src/baselines/kdense.cpp" "src/CMakeFiles/kcc_core.dir/baselines/kdense.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/baselines/kdense.cpp.o.d"
+  "/root/repo/src/baselines/louvain.cpp" "src/CMakeFiles/kcc_core.dir/baselines/louvain.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/baselines/louvain.cpp.o.d"
+  "/root/repo/src/clique/bron_kerbosch.cpp" "src/CMakeFiles/kcc_core.dir/clique/bron_kerbosch.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/clique/bron_kerbosch.cpp.o.d"
+  "/root/repo/src/clique/clique_stats.cpp" "src/CMakeFiles/kcc_core.dir/clique/clique_stats.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/clique/clique_stats.cpp.o.d"
+  "/root/repo/src/clique/parallel_cliques.cpp" "src/CMakeFiles/kcc_core.dir/clique/parallel_cliques.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/clique/parallel_cliques.cpp.o.d"
+  "/root/repo/src/clique/reference_enumerator.cpp" "src/CMakeFiles/kcc_core.dir/clique/reference_enumerator.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/clique/reference_enumerator.cpp.o.d"
+  "/root/repo/src/common/cli.cpp" "src/CMakeFiles/kcc_core.dir/common/cli.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/common/cli.cpp.o.d"
+  "/root/repo/src/common/error.cpp" "src/CMakeFiles/kcc_core.dir/common/error.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/common/error.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/kcc_core.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/common/table.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/CMakeFiles/kcc_core.dir/common/thread_pool.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/common/thread_pool.cpp.o.d"
+  "/root/repo/src/common/union_find.cpp" "src/CMakeFiles/kcc_core.dir/common/union_find.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/common/union_find.cpp.o.d"
+  "/root/repo/src/cpm/clique_index.cpp" "src/CMakeFiles/kcc_core.dir/cpm/clique_index.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/cpm/clique_index.cpp.o.d"
+  "/root/repo/src/cpm/community.cpp" "src/CMakeFiles/kcc_core.dir/cpm/community.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/cpm/community.cpp.o.d"
+  "/root/repo/src/cpm/community_tree.cpp" "src/CMakeFiles/kcc_core.dir/cpm/community_tree.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/cpm/community_tree.cpp.o.d"
+  "/root/repo/src/cpm/cpm.cpp" "src/CMakeFiles/kcc_core.dir/cpm/cpm.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/cpm/cpm.cpp.o.d"
+  "/root/repo/src/cpm/reference_cpm.cpp" "src/CMakeFiles/kcc_core.dir/cpm/reference_cpm.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/cpm/reference_cpm.cpp.o.d"
+  "/root/repo/src/cpm/weighted_cpm.cpp" "src/CMakeFiles/kcc_core.dir/cpm/weighted_cpm.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/cpm/weighted_cpm.cpp.o.d"
+  "/root/repo/src/data/geography.cpp" "src/CMakeFiles/kcc_core.dir/data/geography.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/data/geography.cpp.o.d"
+  "/root/repo/src/data/ixp.cpp" "src/CMakeFiles/kcc_core.dir/data/ixp.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/data/ixp.cpp.o.d"
+  "/root/repo/src/data/relationships.cpp" "src/CMakeFiles/kcc_core.dir/data/relationships.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/data/relationships.cpp.o.d"
+  "/root/repo/src/data/tag_analysis.cpp" "src/CMakeFiles/kcc_core.dir/data/tag_analysis.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/data/tag_analysis.cpp.o.d"
+  "/root/repo/src/data/tags.cpp" "src/CMakeFiles/kcc_core.dir/data/tags.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/data/tags.cpp.o.d"
+  "/root/repo/src/graph/clustering.cpp" "src/CMakeFiles/kcc_core.dir/graph/clustering.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/graph/clustering.cpp.o.d"
+  "/root/repo/src/graph/degeneracy.cpp" "src/CMakeFiles/kcc_core.dir/graph/degeneracy.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/graph/degeneracy.cpp.o.d"
+  "/root/repo/src/graph/degree_distribution.cpp" "src/CMakeFiles/kcc_core.dir/graph/degree_distribution.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/graph/degree_distribution.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/kcc_core.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/graph_algorithms.cpp" "src/CMakeFiles/kcc_core.dir/graph/graph_algorithms.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/graph/graph_algorithms.cpp.o.d"
+  "/root/repo/src/graph/graph_builder.cpp" "src/CMakeFiles/kcc_core.dir/graph/graph_builder.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/graph/graph_builder.cpp.o.d"
+  "/root/repo/src/graph/subgraph.cpp" "src/CMakeFiles/kcc_core.dir/graph/subgraph.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/graph/subgraph.cpp.o.d"
+  "/root/repo/src/graph/weighted_graph.cpp" "src/CMakeFiles/kcc_core.dir/graph/weighted_graph.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/graph/weighted_graph.cpp.o.d"
+  "/root/repo/src/io/community_export.cpp" "src/CMakeFiles/kcc_core.dir/io/community_export.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/io/community_export.cpp.o.d"
+  "/root/repo/src/io/csv.cpp" "src/CMakeFiles/kcc_core.dir/io/csv.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/io/csv.cpp.o.d"
+  "/root/repo/src/io/dataset_io.cpp" "src/CMakeFiles/kcc_core.dir/io/dataset_io.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/io/dataset_io.cpp.o.d"
+  "/root/repo/src/io/dot_export.cpp" "src/CMakeFiles/kcc_core.dir/io/dot_export.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/io/dot_export.cpp.o.d"
+  "/root/repo/src/io/edge_list.cpp" "src/CMakeFiles/kcc_core.dir/io/edge_list.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/io/edge_list.cpp.o.d"
+  "/root/repo/src/io/result_io.cpp" "src/CMakeFiles/kcc_core.dir/io/result_io.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/io/result_io.cpp.o.d"
+  "/root/repo/src/metrics/community_metrics.cpp" "src/CMakeFiles/kcc_core.dir/metrics/community_metrics.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/metrics/community_metrics.cpp.o.d"
+  "/root/repo/src/metrics/cover_stats.cpp" "src/CMakeFiles/kcc_core.dir/metrics/cover_stats.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/metrics/cover_stats.cpp.o.d"
+  "/root/repo/src/metrics/modularity.cpp" "src/CMakeFiles/kcc_core.dir/metrics/modularity.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/metrics/modularity.cpp.o.d"
+  "/root/repo/src/metrics/overlap.cpp" "src/CMakeFiles/kcc_core.dir/metrics/overlap.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/metrics/overlap.cpp.o.d"
+  "/root/repo/src/metrics/scoring.cpp" "src/CMakeFiles/kcc_core.dir/metrics/scoring.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/metrics/scoring.cpp.o.d"
+  "/root/repo/src/metrics/similarity.cpp" "src/CMakeFiles/kcc_core.dir/metrics/similarity.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/metrics/similarity.cpp.o.d"
+  "/root/repo/src/metrics/zp_roles.cpp" "src/CMakeFiles/kcc_core.dir/metrics/zp_roles.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/metrics/zp_roles.cpp.o.d"
+  "/root/repo/src/synth/as_topology.cpp" "src/CMakeFiles/kcc_core.dir/synth/as_topology.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/synth/as_topology.cpp.o.d"
+  "/root/repo/src/synth/params.cpp" "src/CMakeFiles/kcc_core.dir/synth/params.cpp.o" "gcc" "src/CMakeFiles/kcc_core.dir/synth/params.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

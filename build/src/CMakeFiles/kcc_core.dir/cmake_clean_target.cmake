@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkcc_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bron_kerbosch.dir/test_bron_kerbosch.cpp.o"
+  "CMakeFiles/test_bron_kerbosch.dir/test_bron_kerbosch.cpp.o.d"
+  "test_bron_kerbosch"
+  "test_bron_kerbosch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bron_kerbosch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clique_index.dir/test_clique_index.cpp.o"
+  "CMakeFiles/test_clique_index.dir/test_clique_index.cpp.o.d"
+  "test_clique_index"
+  "test_clique_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clique_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clustering.dir/test_clustering.cpp.o"
+  "CMakeFiles/test_clustering.dir/test_clustering.cpp.o.d"
+  "test_clustering"
+  "test_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

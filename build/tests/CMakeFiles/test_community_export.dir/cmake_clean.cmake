@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_community_export.dir/test_community_export.cpp.o"
+  "CMakeFiles/test_community_export.dir/test_community_export.cpp.o.d"
+  "test_community_export"
+  "test_community_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_community_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

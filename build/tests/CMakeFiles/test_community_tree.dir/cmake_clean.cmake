@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_community_tree.dir/test_community_tree.cpp.o"
+  "CMakeFiles/test_community_tree.dir/test_community_tree.cpp.o.d"
+  "test_community_tree"
+  "test_community_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_community_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

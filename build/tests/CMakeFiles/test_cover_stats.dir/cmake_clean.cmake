@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cover_stats.dir/test_cover_stats.cpp.o"
+  "CMakeFiles/test_cover_stats.dir/test_cover_stats.cpp.o.d"
+  "test_cover_stats"
+  "test_cover_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cover_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpm.dir/test_cpm.cpp.o"
+  "CMakeFiles/test_cpm.dir/test_cpm.cpp.o.d"
+  "test_cpm"
+  "test_cpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

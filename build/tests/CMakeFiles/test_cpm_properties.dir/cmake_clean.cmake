@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpm_properties.dir/test_cpm_properties.cpp.o"
+  "CMakeFiles/test_cpm_properties.dir/test_cpm_properties.cpp.o.d"
+  "test_cpm_properties"
+  "test_cpm_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpm_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

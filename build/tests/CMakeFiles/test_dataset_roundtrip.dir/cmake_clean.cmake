@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dataset_roundtrip.dir/test_dataset_roundtrip.cpp.o"
+  "CMakeFiles/test_dataset_roundtrip.dir/test_dataset_roundtrip.cpp.o.d"
+  "test_dataset_roundtrip"
+  "test_dataset_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dataset_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

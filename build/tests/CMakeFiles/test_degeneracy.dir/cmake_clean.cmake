@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_degeneracy.dir/test_degeneracy.cpp.o"
+  "CMakeFiles/test_degeneracy.dir/test_degeneracy.cpp.o.d"
+  "test_degeneracy"
+  "test_degeneracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_degeneracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

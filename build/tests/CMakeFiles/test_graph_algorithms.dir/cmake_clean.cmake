@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_algorithms.dir/test_graph_algorithms.cpp.o"
+  "CMakeFiles/test_graph_algorithms.dir/test_graph_algorithms.cpp.o.d"
+  "test_graph_algorithms"
+  "test_graph_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

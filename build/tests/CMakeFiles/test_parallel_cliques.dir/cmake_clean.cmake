@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_cliques.dir/test_parallel_cliques.cpp.o"
+  "CMakeFiles/test_parallel_cliques.dir/test_parallel_cliques.cpp.o.d"
+  "test_parallel_cliques"
+  "test_parallel_cliques.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_cliques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

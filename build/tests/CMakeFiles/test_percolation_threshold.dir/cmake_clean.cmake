@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_percolation_threshold.dir/test_percolation_threshold.cpp.o"
+  "CMakeFiles/test_percolation_threshold.dir/test_percolation_threshold.cpp.o.d"
+  "test_percolation_threshold"
+  "test_percolation_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_percolation_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_relationships.dir/test_relationships.cpp.o"
+  "CMakeFiles/test_relationships.dir/test_relationships.cpp.o.d"
+  "test_relationships"
+  "test_relationships.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_relationships.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_result_io.dir/test_result_io.cpp.o"
+  "CMakeFiles/test_result_io.dir/test_result_io.cpp.o.d"
+  "test_result_io"
+  "test_result_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_result_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

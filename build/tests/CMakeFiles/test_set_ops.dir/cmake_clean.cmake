@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_set_ops.dir/test_set_ops.cpp.o"
+  "CMakeFiles/test_set_ops.dir/test_set_ops.cpp.o.d"
+  "test_set_ops"
+  "test_set_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_set_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_similarity.dir/test_similarity.cpp.o"
+  "CMakeFiles/test_similarity.dir/test_similarity.cpp.o.d"
+  "test_similarity"
+  "test_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

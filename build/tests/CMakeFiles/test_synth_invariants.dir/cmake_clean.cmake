@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synth_invariants.dir/test_synth_invariants.cpp.o"
+  "CMakeFiles/test_synth_invariants.dir/test_synth_invariants.cpp.o.d"
+  "test_synth_invariants"
+  "test_synth_invariants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synth_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tag_analysis.dir/test_tag_analysis.cpp.o"
+  "CMakeFiles/test_tag_analysis.dir/test_tag_analysis.cpp.o.d"
+  "test_tag_analysis"
+  "test_tag_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tag_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

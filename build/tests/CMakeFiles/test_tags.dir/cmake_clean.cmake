@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tags.dir/test_tags.cpp.o"
+  "CMakeFiles/test_tags.dir/test_tags.cpp.o.d"
+  "test_tags"
+  "test_tags.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weighted_cpm.dir/test_weighted_cpm.cpp.o"
+  "CMakeFiles/test_weighted_cpm.dir/test_weighted_cpm.cpp.o.d"
+  "test_weighted_cpm"
+  "test_weighted_cpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weighted_cpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zp_roles.dir/test_zp_roles.cpp.o"
+  "CMakeFiles/test_zp_roles.dir/test_zp_roles.cpp.o.d"
+  "test_zp_roles"
+  "test_zp_roles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zp_roles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcc.dir/kcc.cpp.o"
+  "CMakeFiles/kcc.dir/kcc.cpp.o.d"
+  "kcc"
+  "kcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for kcc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(kcc_cli_generate "/root/repo/build/tools/kcc" "generate" "--out-dir=/root/repo/build/tools/data" "--scale=test" "--seed=5")
+set_tests_properties(kcc_cli_generate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(kcc_cli_info "/root/repo/build/tools/kcc" "info" "--edges=/root/repo/build/tools/data/topology.txt")
+set_tests_properties(kcc_cli_info PROPERTIES  DEPENDS "kcc_cli_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(kcc_cli_cpm "/root/repo/build/tools/kcc" "cpm" "--edges=/root/repo/build/tools/data/topology.txt" "--max-k=6" "--out=/root/repo/build/tools/result.txt")
+set_tests_properties(kcc_cli_cpm PROPERTIES  DEPENDS "kcc_cli_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(kcc_cli_tree "/root/repo/build/tools/kcc" "tree" "--edges=/root/repo/build/tools/data/topology.txt" "--dot=/root/repo/build/tools/tree.dot")
+set_tests_properties(kcc_cli_tree PROPERTIES  DEPENDS "kcc_cli_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(kcc_cli_analyze "/root/repo/build/tools/kcc" "analyze" "--edges=/root/repo/build/tools/data/topology.txt" "--ixps=/root/repo/build/tools/data/ixps.txt" "--countries=/root/repo/build/tools/data/countries.txt" "--geo=/root/repo/build/tools/data/geo.txt")
+set_tests_properties(kcc_cli_analyze PROPERTIES  DEPENDS "kcc_cli_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(kcc_cli_bad_command "/root/repo/build/tools/kcc" "frobnicate")
+set_tests_properties(kcc_cli_bad_command PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
