@@ -1,13 +1,25 @@
 #include "harness.h"
 
+#include <filesystem>
+
 #include "common/error.h"
 #include "common/table.h"
 #include "common/timer.h"
 
 namespace kcc::bench {
+namespace {
+
+std::string default_metrics_path(const char* argv0) {
+  if (argv0 == nullptr || *argv0 == '\0') return "kcc_bench.metrics.json";
+  return std::filesystem::path(argv0).filename().string() + ".metrics.json";
+}
+
+}  // namespace
 
 HarnessConfig parse_harness_args(int argc, char** argv) {
-  const CliArgs args(argc, argv, {"scale", "seed", "threads"});
+  const CliArgs args(argc, argv,
+                     {"scale", "seed", "threads", "log-level", "trace-out",
+                      "metrics-out"});
   HarnessConfig config;
   config.scale = args.get_string("scale", "bench");
   if (config.scale == "test") {
@@ -23,6 +35,14 @@ HarnessConfig parse_harness_args(int argc, char** argv) {
       static_cast<std::uint64_t>(args.get_int("seed", 42));
   config.pipeline.cpm.threads =
       static_cast<std::size_t>(args.get_int("threads", 0));
+  config.obs.log_level = args.get_string("log-level", "");
+  config.obs.trace_out = args.get_string("trace-out", "");
+  // The metrics sidecar is on by default (--metrics-out= disables it); every
+  // experiment record is accompanied by its counters.
+  config.obs.metrics_out = args.has("metrics-out")
+                               ? args.get_string("metrics-out", "")
+                               : default_metrics_path(argc > 0 ? argv[0]
+                                                               : nullptr);
   return config;
 }
 
@@ -48,7 +68,14 @@ int guarded_main(int argc, char** argv, const std::string& experiment,
                  int (*body)(const HarnessConfig&)) {
   try {
     banner(experiment, paper_claim);
-    return body(parse_harness_args(argc, argv));
+    const HarnessConfig config = parse_harness_args(argc, argv);
+    obs::configure(config.obs);
+    Timer timer;
+    const int rc = body(config);
+    KCC_LOG(kInfo) << experiment << ": body finished in " << timer.lap()
+                   << "s";
+    obs::finish(config.obs);
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

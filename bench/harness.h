@@ -3,6 +3,12 @@
 // Every table_* / fig_* / sec_* binary runs the full pipeline on a synthetic
 // ecosystem (bench scale by default; --scale test|bench|paper, --seed N,
 // --threads N) and prints one experiment's paper-vs-measured comparison.
+//
+// Observability: each harness accepts --log-level=, --trace-out=FILE and
+// --metrics-out=FILE (see docs/OBSERVABILITY.md). Unless disabled with an
+// explicit empty --metrics-out=, every run writes a metrics sidecar next to
+// the working directory (<binary>.metrics.json) so experiment records carry
+// their counters.
 #pragma once
 
 #include <iostream>
@@ -10,15 +16,18 @@
 
 #include "analysis/pipeline.h"
 #include "common/cli.h"
+#include "obs/obs.h"
 
 namespace kcc::bench {
 
 struct HarnessConfig {
   PipelineOptions pipeline;
   std::string scale = "bench";
+  obs::ObsOptions obs;
 };
 
-/// Parses the standard harness flags.
+/// Parses the standard harness flags. argv[0] seeds the default metrics
+/// sidecar path (<basename>.metrics.json).
 HarnessConfig parse_harness_args(int argc, char** argv);
 
 /// Runs the pipeline and prints the standard run header.
@@ -27,7 +36,8 @@ PipelineResult run_harness(const HarnessConfig& config);
 /// Prints the experiment banner.
 void banner(const std::string& experiment, const std::string& paper_claim);
 
-/// Wraps main() bodies: runs `body`, catching and reporting errors.
+/// Wraps main() bodies: configures observability, runs `body`, writes the
+/// requested trace/metrics artifacts, catching and reporting errors.
 int guarded_main(int argc, char** argv,
                  const std::string& experiment, const std::string& paper_claim,
                  int (*body)(const HarnessConfig&));

@@ -1,6 +1,9 @@
 #include "analysis/pipeline.h"
 
 #include "common/error.h"
+#include "common/timer.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 
 namespace kcc {
 
@@ -13,29 +16,62 @@ const CommunityMetrics& PipelineResult::metrics_of(std::size_t k,
 }
 
 PipelineResult analyze_ecosystem(AsEcosystem eco, const CpmOptions& cpm_opts) {
+  KCC_SPAN("pipeline/analyze");
+  Timer stage_timer;  // lap() per stage keeps one timer across the sequence
   PipelineResult result;
   result.eco = std::move(eco);
-  result.cpm = run_cpm(result.eco.topology.graph, cpm_opts);
+  {
+    KCC_SPAN("pipeline/cpm");
+    result.cpm = run_cpm(result.eco.topology.graph, cpm_opts);
+  }
+  KCC_LOG(kInfo) << "pipeline: cpm done in " << stage_timer.lap() << "s ("
+                 << result.cpm.cliques.size() << " cliques, k in ["
+                 << result.cpm.min_k << ", " << result.cpm.max_k << "])";
   require(result.cpm.max_k >= result.cpm.min_k,
           "analyze_ecosystem: the graph has no cliques to percolate");
-  result.tree = CommunityTree::build(result.cpm);
-  result.level_stats = tree_level_stats(result.tree);
-  result.metrics_by_k.reserve(result.cpm.by_k.size());
-  for (const CommunitySet& set : result.cpm.by_k) {
-    result.metrics_by_k.push_back(
-        compute_metrics(result.eco.topology.graph, set));
+  {
+    KCC_SPAN("pipeline/tree");
+    result.tree = CommunityTree::build(result.cpm);
+    result.level_stats = tree_level_stats(result.tree);
   }
-  result.profiles = profile_communities(result.cpm, result.tree,
-                                        result.eco.ixps, result.eco.geo);
-  result.bands = derive_bands(result.profiles, result.cpm.min_k,
-                              result.cpm.max_k);
-  result.overlaps =
-      overlap_stats(result.cpm, main_ids_by_k(result.tree));
+  KCC_LOG(kInfo) << "pipeline: tree done in " << stage_timer.lap() << "s ("
+                 << result.tree.nodes().size() << " communities)";
+  {
+    KCC_SPAN("pipeline/metrics");
+    result.metrics_by_k.reserve(result.cpm.by_k.size());
+    for (const CommunitySet& set : result.cpm.by_k) {
+      result.metrics_by_k.push_back(
+          compute_metrics(result.eco.topology.graph, set));
+    }
+  }
+  KCC_LOG(kInfo) << "pipeline: metrics done in " << stage_timer.lap() << "s";
+  {
+    KCC_SPAN("pipeline/profiles");
+    result.profiles = profile_communities(result.cpm, result.tree,
+                                          result.eco.ixps, result.eco.geo);
+  }
+  {
+    KCC_SPAN("pipeline/bands");
+    result.bands = derive_bands(result.profiles, result.cpm.min_k,
+                                result.cpm.max_k);
+  }
+  {
+    KCC_SPAN("pipeline/overlaps");
+    result.overlaps =
+        overlap_stats(result.cpm, main_ids_by_k(result.tree));
+  }
+  KCC_LOG(kInfo) << "pipeline: tagging/overlaps done in " << stage_timer.lap()
+                 << "s";
   return result;
 }
 
 PipelineResult run_pipeline(const PipelineOptions& options) {
-  return analyze_ecosystem(generate_ecosystem(options.synth), options.cpm);
+  AsEcosystem eco;
+  {
+    KCC_SPAN("pipeline/generate");
+    eco = generate_ecosystem(options.synth);
+  }
+  return analyze_ecosystem(std::move(eco), options.cpm);
 }
 
 }  // namespace kcc

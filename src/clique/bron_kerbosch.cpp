@@ -4,9 +4,26 @@
 
 #include "common/set_ops.h"
 #include "graph/degeneracy.h"
+#include "obs/metrics.h"
 
 namespace kcc {
 namespace {
+
+// Enumeration instruments, shared by the sequential and parallel drivers
+// (both funnel through enumerate_vertex_subproblem). Per-clique cost is a
+// handful of relaxed atomics — noise next to the set algebra that produced
+// the clique.
+struct CliqueMetrics {
+  obs::Counter& cliques = obs::metrics().counter("cliques_enumerated_total");
+  obs::Counter& subproblems = obs::metrics().counter("bk_subproblems_total");
+  obs::Histogram& size = obs::metrics().histogram(
+      "clique_size_nodes", obs::Histogram::linear_bounds(2.0, 1.0, 29));
+};
+
+CliqueMetrics& clique_metrics() {
+  static CliqueMetrics m;
+  return m;
+}
 
 // Recursive state for one outer-vertex subproblem. P and X are sorted
 // candidate/excluded sets; R is the growing clique.
@@ -107,7 +124,14 @@ void enumerate_vertex_subproblem(const Graph& g, const DegeneracyResult& deg,
   }
   std::sort(p.begin(), p.end());
   std::sort(x.begin(), x.end());
-  Expander e(g, visit, min_size);
+  CliqueMetrics& m = clique_metrics();
+  m.subproblems.inc();
+  const CliqueVisitor counted = [&m, &visit](const NodeSet& clique) {
+    m.cliques.inc();
+    m.size.observe(static_cast<double>(clique.size()));
+    visit(clique);
+  };
+  Expander e(g, counted, min_size);
   e.r.push_back(v);
   e.expand(p, x);
 }

@@ -4,11 +4,14 @@
 
 #include "clique/bron_kerbosch_internal.h"
 #include "graph/degeneracy.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 
 namespace kcc {
 
 std::vector<NodeSet> parallel_maximal_cliques(const Graph& g, ThreadPool& pool,
                                               std::size_t min_size) {
+  KCC_SPAN("clique/parallel_enumerate");
   const DegeneracyResult deg = degeneracy_order(g);
   const std::size_t n = g.num_nodes();
   // One result slot per ordering position; tasks never share slots, so no
@@ -32,9 +35,15 @@ std::vector<NodeSet> parallel_maximal_cliques(const Graph& g, ThreadPool& pool,
   for (const auto& slot : slots) total += slot.size();
   std::vector<NodeSet> out;
   out.reserve(total);
-  for (auto& slot : slots) {
-    for (auto& clique : slot) out.push_back(std::move(clique));
+  {
+    KCC_SPAN("clique/merge_slots");
+    for (auto& slot : slots) {
+      for (auto& clique : slot) out.push_back(std::move(clique));
+    }
   }
+  KCC_LOG(kDebug) << "parallel_maximal_cliques: " << out.size()
+                  << " cliques from " << n << " subproblems on "
+                  << pool.thread_count() << " threads";
   return out;
 }
 

@@ -16,11 +16,22 @@ class Timer {
 
   double milliseconds() const { return seconds() * 1e3; }
 
-  void restart() { start_ = Clock::now(); }
+  /// Seconds since construction, the last restart(), or the last lap() —
+  /// whichever came last. Lets one Timer meter a sequence of phases
+  /// (pipeline stages, tracer flush intervals) without resetting seconds().
+  double lap() {
+    const Clock::time_point now = Clock::now();
+    const double s = std::chrono::duration<double>(now - lap_).count();
+    lap_ = now;
+    return s;
+  }
+
+  void restart() { start_ = Clock::now(); lap_ = start_; }
 
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+  Clock::time_point lap_ = start_;
 };
 
 }  // namespace kcc

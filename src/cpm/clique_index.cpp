@@ -4,8 +4,27 @@
 
 #include "common/error.h"
 #include "common/set_ops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace kcc {
+namespace {
+
+// Overlap-join instruments. Candidate touches count every clique pair the
+// stamp array examined; emitted pairs are the ones that met min_overlap.
+// Both are accumulated per shard/batch and flushed with one atomic add.
+struct OverlapMetrics {
+  obs::Counter& candidates =
+      obs::metrics().counter("cpm_overlap_candidates_total");
+  obs::Counter& pairs = obs::metrics().counter("cpm_overlap_pairs_total");
+};
+
+OverlapMetrics& overlap_metrics() {
+  static OverlapMetrics m;
+  return m;
+}
+
+}  // namespace
 
 std::vector<std::vector<CliqueId>> build_node_clique_index(
     const std::vector<NodeSet>& cliques, std::size_t num_nodes) {
@@ -24,13 +43,13 @@ namespace {
 // Overlap pairs (a, b) with b fixed, discovered through b's nodes. A stamp
 // array deduplicates candidates; counting hits per candidate *is* the
 // overlap size, because clique a appears in the index list of exactly the
-// |A ∩ B| shared nodes.
-void overlaps_for_clique(const std::vector<NodeSet>& cliques,
-                         const std::vector<std::vector<CliqueId>>& index,
-                         CliqueId b, std::size_t min_overlap,
-                         std::vector<std::uint32_t>& hit_count,
-                         std::vector<CliqueId>& touched,
-                         std::vector<CliqueOverlap>& out) {
+// |A ∩ B| shared nodes. Returns the number of candidate cliques examined.
+std::size_t overlaps_for_clique(const std::vector<NodeSet>& cliques,
+                                const std::vector<std::vector<CliqueId>>& index,
+                                CliqueId b, std::size_t min_overlap,
+                                std::vector<std::uint32_t>& hit_count,
+                                std::vector<CliqueId>& touched,
+                                std::vector<CliqueOverlap>& out) {
   touched.clear();
   for (NodeId v : cliques[b]) {
     for (CliqueId a : index[v]) {
@@ -45,6 +64,7 @@ void overlaps_for_clique(const std::vector<NodeSet>& cliques,
     }
     hit_count[a] = 0;
   }
+  return touched.size();
 }
 
 }  // namespace
@@ -57,9 +77,13 @@ std::vector<CliqueOverlap> compute_clique_overlaps_sequential(
   std::vector<CliqueOverlap> out;
   std::vector<std::uint32_t> hit_count(cliques.size(), 0);
   std::vector<CliqueId> touched;
+  std::uint64_t candidates = 0;
   for (CliqueId b = 0; b < cliques.size(); ++b) {
-    overlaps_for_clique(cliques, index, b, min_overlap, hit_count, touched, out);
+    candidates += overlaps_for_clique(cliques, index, b, min_overlap,
+                                      hit_count, touched, out);
   }
+  overlap_metrics().candidates.inc(candidates);
+  overlap_metrics().pairs.inc(out.size());
   std::sort(out.begin(), out.end(), [](const CliqueOverlap& x, const CliqueOverlap& y) {
     return x.a != y.a ? x.a < y.a : x.b < y.b;
   });
@@ -70,6 +94,7 @@ std::vector<CliqueOverlap> compute_clique_overlaps(
     const std::vector<NodeSet>& cliques, std::size_t num_nodes,
     std::size_t min_overlap, ThreadPool& pool) {
   require(min_overlap >= 1, "compute_clique_overlaps: min_overlap must be >= 1");
+  KCC_SPAN("cpm/overlap_join");
   const auto index = build_node_clique_index(cliques, num_nodes);
 
   // Shard cliques into contiguous ranges; each task owns a result slot, so
@@ -85,10 +110,14 @@ std::vector<CliqueOverlap> compute_clique_overlaps(
         std::min(cliques.size(), (s + 1) * shard_size));
     std::vector<std::uint32_t> hit_count(cliques.size(), 0);
     std::vector<CliqueId> touched;
+    std::uint64_t candidates = 0;
+    std::size_t emitted_before = slots[s].size();
     for (CliqueId b = begin; b < end; ++b) {
-      overlaps_for_clique(cliques, index, b, min_overlap, hit_count, touched,
-                          slots[s]);
+      candidates += overlaps_for_clique(cliques, index, b, min_overlap,
+                                        hit_count, touched, slots[s]);
     }
+    overlap_metrics().candidates.inc(candidates);
+    overlap_metrics().pairs.inc(slots[s].size() - emitted_before);
   });
 
   std::size_t total = 0;

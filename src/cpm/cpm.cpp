@@ -9,9 +9,40 @@
 #include "common/union_find.h"
 #include "cpm/clique_index.h"
 #include "graph/graph_algorithms.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace kcc {
 namespace {
+
+// Percolation instruments. Join ops are counted per-k in a local and flushed
+// with one atomic add, so the union-find loop stays uninstrumented.
+struct CpmMetrics {
+  obs::Counter& join_ops = obs::metrics().counter("cpm_join_ops_total");
+  obs::Counter& communities =
+      obs::metrics().counter("cpm_communities_total");
+  obs::Histogram& community_size = obs::metrics().histogram(
+      "cpm_community_size_nodes",
+      obs::Histogram::exponential_bounds(1.0, 2.0, 16));
+};
+
+CpmMetrics& cpm_metrics() {
+  static CpmMetrics m;
+  return m;
+}
+
+// Records the per-k outcome: one gauge per k level plus set-wide instruments.
+void note_community_set(const CommunitySet& set) {
+  CpmMetrics& m = cpm_metrics();
+  m.communities.inc(set.communities.size());
+  for (const Community& c : set.communities) {
+    m.community_size.observe(static_cast<double>(c.size()));
+  }
+  obs::metrics()
+      .gauge("cpm_communities_k" + std::to_string(set.k))
+      .set(static_cast<std::int64_t>(set.communities.size()));
+}
 
 // Orders communities by descending size, ties by smallest member node, and
 // reassigns dense ids. The order is independent of union-find internals and
@@ -86,12 +117,15 @@ CommunitySet percolate_k(std::size_t k, const std::vector<NodeSet>& cliques,
   if (global_of.empty()) return set;
 
   UnionFind uf(global_of.size());
+  std::uint64_t join_ops = 0;
   for (const CliqueOverlap& o : overlaps) {
     if (o.overlap + 1 >= k && local_of[o.a] != kAbsent &&
         local_of[o.b] != kAbsent) {
       uf.unite(local_of[o.a], local_of[o.b]);
+      ++join_ops;
     }
   }
+  cpm_metrics().join_ops.inc(join_ops);
 
   for (auto& group : uf.groups()) {
     Community community;
@@ -141,17 +175,26 @@ CpmResult run_cpm_on_cliques(const Graph& g, std::vector<NodeSet> cliques,
   // Overlap pairs are only needed for k >= 3 (threshold k-1 >= 2).
   std::vector<CliqueOverlap> overlaps;
   if (result.max_k >= 3) {
+    KCC_SPAN("cpm/clique_overlaps");
     overlaps =
         compute_clique_overlaps(result.cliques, g.num_nodes(), 2, pool);
   }
+  KCC_LOG(kDebug) << "run_cpm: " << result.cliques.size() << " cliques, "
+                  << overlaps.size() << " overlap pairs, k in ["
+                  << result.min_k << ", " << result.max_k << "]";
 
   result.by_k.resize(result.max_k - result.min_k + 1);
   // Per-k percolations are independent: the LP-CPM parallel axis.
-  parallel_for(pool, result.by_k.size(), [&](std::size_t i) {
-    const std::size_t k = result.min_k + i;
-    result.by_k[i] = k == 2 ? percolate_k2(g, result.cliques)
-                            : percolate_k(k, result.cliques, overlaps);
-  });
+  {
+    KCC_SPAN("cpm/percolate_all_k");
+    parallel_for(pool, result.by_k.size(), [&](std::size_t i) {
+      const std::size_t k = result.min_k + i;
+      const obs::ScopedSpan span("cpm/percolate_k=" + std::to_string(k));
+      result.by_k[i] = k == 2 ? percolate_k2(g, result.cliques)
+                              : percolate_k(k, result.cliques, overlaps);
+      note_community_set(result.by_k[i]);
+    });
+  }
   return result;
 }
 

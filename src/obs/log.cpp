@@ -1,0 +1,99 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+#include "common/error.h"
+#include "common/timer.h"
+
+namespace kcc::obs {
+namespace {
+
+std::atomic<int>& level_storage() {
+  // Initialised from the environment exactly once, before the first load.
+  static std::atomic<int> level = [] {
+    const char* env = std::getenv("KCC_LOG_LEVEL");
+    return static_cast<int>(env ? parse_log_level(env) : LogLevel::kOff);
+  }();
+  return level;
+}
+
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::ostream*& sink_storage() {
+  static std::ostream* sink = nullptr;  // nullptr means std::cerr
+  return sink;
+}
+
+/// Seconds since the logger was first touched; gives every line a stable
+/// monotonic timestamp without calling into the tracer.
+double log_elapsed_seconds() {
+  static const Timer epoch;
+  return epoch.seconds();
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(
+      level_storage().load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) {
+  level_storage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "off" || name.empty()) return LogLevel::kOff;
+  if (name == "error") return LogLevel::kError;
+  if (name == "warn" || name == "warning") return LogLevel::kWarn;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "trace") return LogLevel::kTrace;
+  throw Error("unknown log level '" + name +
+              "' (off|error|warn|info|debug|trace)");
+}
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kOff:
+      return "off";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kTrace:
+      return "trace";
+  }
+  return "?";
+}
+
+void set_log_sink(std::ostream* sink) {
+  std::lock_guard lock(sink_mutex());
+  sink_storage() = sink;
+}
+
+LogStream::LogStream(LogLevel level) : level_(level) {}
+
+LogStream::~LogStream() {
+  stream_ << '\n';
+  char prefix[48];
+  std::snprintf(prefix, sizeof(prefix), "[%10.3fs %-5s] ",
+                log_elapsed_seconds(), log_level_name(level_));
+  std::lock_guard lock(sink_mutex());
+  std::ostream* out = sink_storage();
+  if (out == nullptr) out = &std::cerr;
+  *out << prefix << stream_.str() << std::flush;
+}
+
+}  // namespace kcc::obs

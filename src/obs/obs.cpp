@@ -1,0 +1,56 @@
+#include "obs/obs.h"
+
+#include <fstream>
+
+#include "common/error.h"
+#include "common/timer.h"
+
+namespace kcc::obs {
+
+void configure(const ObsOptions& options) {
+  if (!options.log_level.empty()) {
+    set_log_level(parse_log_level(options.log_level));
+  }
+  if (!options.trace_out.empty()) {
+    Tracer::instance().set_enabled(true);
+  }
+}
+
+void finish(const ObsOptions& options) {
+  Timer timer;  // lap() per artifact: export cost is itself worth seeing
+  if (!options.trace_out.empty()) {
+    write_trace_file(options.trace_out);
+    KCC_LOG(kInfo) << "trace written to " << options.trace_out << " ("
+                   << Tracer::instance().event_count() << " spans, "
+                   << timer.lap() << "s)";
+  }
+  if (!options.metrics_out.empty()) {
+    write_metrics_file(options.metrics_out);
+    KCC_LOG(kInfo) << "metrics written to " << options.metrics_out << " ("
+                   << timer.lap() << "s)";
+  }
+}
+
+void write_trace_file(const std::string& path) {
+  std::ofstream out(path);
+  require(out.good(), "obs: cannot write trace file " + path);
+  Tracer::instance().write_chrome_trace(out);
+  out << "\n";
+  require(out.good(), "obs: failed writing trace file " + path);
+}
+
+void write_metrics_file(const std::string& path) {
+  std::ofstream out(path);
+  require(out.good(), "obs: cannot write metrics file " + path);
+  const bool prometheus =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".prom") == 0;
+  if (prometheus) {
+    metrics().write_prometheus(out);
+  } else {
+    metrics().write_json(out);
+    out << "\n";
+  }
+  require(out.good(), "obs: failed writing metrics file " + path);
+}
+
+}  // namespace kcc::obs

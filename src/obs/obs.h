@@ -1,0 +1,37 @@
+// Umbrella for the observability layer: one include pulls in the logger,
+// metrics registry, and tracer, plus the shared CLI glue (--log-level,
+// --trace-out, --metrics-out) used by tools/kcc and the bench harnesses.
+#pragma once
+
+#include <string>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace kcc::obs {
+
+/// Parsed observability CLI options shared by every front end.
+struct ObsOptions {
+  std::string log_level;    // "" keeps the current (env-derived) level
+  std::string trace_out;    // "" disables tracing
+  std::string metrics_out;  // "" disables the metrics dump
+};
+
+/// Applies the options: sets the log level and enables the tracer when a
+/// trace output path is requested. Call before running instrumented work.
+void configure(const ObsOptions& options);
+
+/// Writes the requested artifacts: Chrome-trace JSON to `trace_out` and the
+/// metrics JSON dump to `metrics_out` (either may be empty = skip). Throws
+/// kcc::Error when a file cannot be written.
+void finish(const ObsOptions& options);
+
+/// Writes the current trace buffer as Chrome trace_event JSON to `path`.
+void write_trace_file(const std::string& path);
+
+/// Writes the current metrics registry as JSON to `path`. A path ending in
+/// ".prom" selects the Prometheus text exposition format instead.
+void write_metrics_file(const std::string& path);
+
+}  // namespace kcc::obs

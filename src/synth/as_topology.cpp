@@ -8,6 +8,8 @@
 #include "common/rng.h"
 #include "common/set_ops.h"
 #include "graph/graph_algorithms.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 
 namespace kcc {
 
@@ -876,29 +878,48 @@ struct Generator {
 }  // namespace
 
 AsEcosystem generate_ecosystem(const SynthParams& params) {
+  KCC_SPAN("synth/generate_ecosystem");
   params.validate();
   Generator gen(params);
 
-  gen.assign_roles();
-  gen.build_countries();
-  gen.assign_geography();
-  gen.build_hierarchy();
-  gen.build_core_pool();
+  {
+    KCC_SPAN("synth/roles_geography");
+    gen.assign_roles();
+    gen.build_countries();
+    gen.assign_geography();
+  }
+  {
+    KCC_SPAN("synth/hierarchy");
+    gen.build_hierarchy();
+    gen.build_core_pool();
+  }
 
   std::vector<IxpId> big_ids;
-  gen.build_ixps(big_ids);
-  gen.add_ixp_peering(big_ids);
-  // Regional cliques are planted after the IXPs so their member pool can
-  // prefer exchange members (see plant_regional_cliques).
-  gen.plant_regional_cliques();
-  gen.plant_apex();
-  gen.plant_crown_cliques(big_ids);
-  gen.plant_trunk_chains();
-  gen.plant_nested_branch(big_ids);
+  {
+    KCC_SPAN("synth/ixps");
+    gen.build_ixps(big_ids);
+    gen.add_ixp_peering(big_ids);
+  }
+  {
+    KCC_SPAN("synth/planted_structures");
+    // Regional cliques are planted after the IXPs so their member pool can
+    // prefer exchange members (see plant_regional_cliques).
+    gen.plant_regional_cliques();
+    gen.plant_apex();
+    gen.plant_crown_cliques(big_ids);
+    gen.plant_trunk_chains();
+    gen.plant_nested_branch(big_ids);
+  }
 
   AsEcosystem eco;
-  eco.topology = gen.finish_topology();
-  eco.relationships = gen.build_relationships(eco.topology.graph);
+  {
+    KCC_SPAN("synth/finish_topology");
+    eco.topology = gen.finish_topology();
+    eco.relationships = gen.build_relationships(eco.topology.graph);
+  }
+  KCC_LOG(kDebug) << "generate_ecosystem: " << eco.num_ases() << " ASes, "
+                  << eco.topology.graph.num_edges() << " links (seed "
+                  << params.seed << ")";
   eco.ixps = IxpDataset(std::move(gen.ixps));
   eco.geo = GeoDataset(std::move(gen.countries), std::move(gen.locations));
   eco.roles = std::move(gen.roles);

@@ -33,6 +33,7 @@
 #include "io/dot_export.h"
 #include "io/edge_list.h"
 #include "io/result_io.h"
+#include "obs/obs.h"
 
 namespace {
 
@@ -45,7 +46,21 @@ int usage() {
       "  cpm      --edges=FILE [--min-k=N] [--max-k=N] [--threads=N] [--out=FILE]\n"
       "  tree     --edges=FILE [--dot=FILE] [--min-k-shown=N]\n"
       "  analyze  --edges=FILE --ixps=FILE --countries=FILE --geo=FILE\n"
-      "  info     --edges=FILE\n";
+      "           [--threads=N]\n"
+      "  info     --edges=FILE\n"
+      "\n"
+      "observability flags (accepted by every command):\n"
+      "  --log-level=off|error|warn|info|debug|trace\n"
+      "           stderr logging threshold (default off; env KCC_LOG_LEVEL)\n"
+      "  --trace-out=FILE\n"
+      "           record spans and write Chrome trace_event JSON, viewable\n"
+      "           in chrome://tracing or https://ui.perfetto.dev\n"
+      "  --metrics-out=FILE\n"
+      "           dump the metrics registry on exit (JSON, or Prometheus\n"
+      "           text when FILE ends in .prom)\n"
+      "\n"
+      "Unknown flags are an error; see docs/OBSERVABILITY.md for the metric\n"
+      "catalog.\n";
   return 2;
 }
 
@@ -203,17 +218,36 @@ int main(int argc, char** argv) {
   try {
     if (argc < 2) return usage();
     const std::string command = argv[1];
+    // CliArgs rejects flags outside this list, so typos (--thread=8) fail
+    // loudly instead of silently running with defaults.
     const CliArgs args(argc - 1, argv + 1,
                        {"out-dir", "scale", "seed", "edges", "min-k", "max-k",
                         "threads", "out", "dot", "min-k-shown", "ixps",
-                        "countries", "geo"});
-    if (command == "generate") return cmd_generate(args);
-    if (command == "cpm") return cmd_cpm(args);
-    if (command == "tree") return cmd_tree(args);
-    if (command == "analyze") return cmd_analyze(args);
-    if (command == "info") return cmd_info(args);
-    std::cerr << "unknown command '" << command << "'\n";
-    return usage();
+                        "countries", "geo", "log-level", "trace-out",
+                        "metrics-out"});
+    obs::ObsOptions obs_options;
+    obs_options.log_level = args.get_string("log-level", "");
+    obs_options.trace_out = args.get_string("trace-out", "");
+    obs_options.metrics_out = args.get_string("metrics-out", "");
+    obs::configure(obs_options);
+
+    int rc = 0;
+    if (command == "generate") {
+      rc = cmd_generate(args);
+    } else if (command == "cpm") {
+      rc = cmd_cpm(args);
+    } else if (command == "tree") {
+      rc = cmd_tree(args);
+    } else if (command == "analyze") {
+      rc = cmd_analyze(args);
+    } else if (command == "info") {
+      rc = cmd_info(args);
+    } else {
+      std::cerr << "unknown command '" << command << "'\n";
+      return usage();
+    }
+    obs::finish(obs_options);
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
