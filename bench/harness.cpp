@@ -17,9 +17,12 @@ std::string default_metrics_path(const char* argv0) {
 }  // namespace
 
 HarnessConfig parse_harness_args(int argc, char** argv) {
-  const CliArgs args(argc, argv,
-                     {"scale", "seed", "threads", "log-level", "trace-out",
-                      "metrics-out"});
+  std::vector<std::string> known{"scale", "seed", "log-level", "trace-out",
+                                 "metrics-out"};
+  for (const std::string& flag : cpm::engine_cli_flags()) {
+    known.push_back(flag);
+  }
+  const CliArgs args(argc, argv, known);
   HarnessConfig config;
   config.scale = args.get_string("scale", "bench");
   if (config.scale == "test") {
@@ -33,8 +36,7 @@ HarnessConfig parse_harness_args(int argc, char** argv) {
   }
   config.pipeline.synth.seed =
       static_cast<std::uint64_t>(args.get_int("seed", 42));
-  config.pipeline.cpm.threads =
-      static_cast<std::size_t>(args.get_int("threads", 0));
+  config.pipeline.cpm = cpm::options_from_cli(args, config.pipeline.cpm);
   config.obs.log_level = args.get_string("log-level", "");
   config.obs.trace_out = args.get_string("trace-out", "");
   // The metrics sidecar is on by default (--metrics-out= disables it); every
@@ -50,6 +52,7 @@ PipelineResult run_harness(const HarnessConfig& config) {
   Timer timer;
   PipelineResult result = run_pipeline(config.pipeline);
   std::cout << "[run] scale=" << config.scale
+            << " engine=" << cpm::engine_name(config.pipeline.cpm.engine)
             << " seed=" << config.pipeline.synth.seed << " ases="
             << result.eco.num_ases() << " edges="
             << result.eco.topology.graph.num_edges() << " cliques="

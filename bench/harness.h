@@ -1,8 +1,10 @@
 // Shared scaffolding for the experiment harness binaries.
 //
 // Every table_* / fig_* / sec_* binary runs the full pipeline on a synthetic
-// ecosystem (bench scale by default; --scale test|bench|paper, --seed N,
-// --threads N) and prints one experiment's paper-vs-measured comparison.
+// ecosystem (bench scale by default; --scale test|bench|paper, --seed N) and
+// prints one experiment's paper-vs-measured comparison. The shared engine
+// flags --k-min/--k-max/--engine/--threads (cpm::engine_cli_flags) select
+// the percolation engine; the sweep engine is the default.
 //
 // Observability: each harness accepts --log-level=, --trace-out=FILE and
 // --metrics-out=FILE (see docs/OBSERVABILITY.md). Unless disabled with an

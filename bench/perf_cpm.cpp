@@ -2,13 +2,29 @@
 //
 // The paper's LP-CPM needed 93 hours on 48 cores for the April-2010
 // topology; these benchmarks demonstrate the same parallel structure
-// (threads sweep) and the maximal-clique reduction vs the literal
-// k-clique-graph construction (reference CPM) at small scale.
+// (threads sweep), the maximal-clique reduction vs the literal
+// k-clique-graph construction (reference CPM) at small scale, and the
+// single-sweep engine vs the per-k rescan for all-k extraction.
+//
+// Special mode (used by the `perf_cpm_verify_sweep` ctest):
+//   perf_cpm --verify-sweep
+// runs both engines on the default synthetic graph, checks the sweep output
+// is identical to the per-k oracle for every k (communities, clique ids and
+// the nesting tree), prints the all-k extraction speedup, and exits without
+// running the registered benchmarks.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <iostream>
+
+#include "clique/parallel_cliques.h"
 #include "common/rng.h"
-#include "cpm/cpm.h"
+#include "common/table.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "cpm/engine.h"
 #include "cpm/reference_cpm.h"
+#include "cpm/sweep_cpm.h"
 #include "synth/as_topology.h"
 
 namespace {
@@ -35,6 +51,24 @@ const Graph& ecosystem_graph() {
   return g;
 }
 
+// The suite's default experiment scale; large enough that the all-k
+// comparison reflects real overlap-list sizes (~2M pairs).
+const Graph& bench_graph() {
+  static const Graph g = [] {
+    SynthParams params = SynthParams::bench_scale();
+    return generate_ecosystem(params).topology.graph;
+  }();
+  return g;
+}
+
+const std::vector<NodeSet>& bench_cliques() {
+  static const std::vector<NodeSet> cliques = [] {
+    ThreadPool pool(0);
+    return parallel_maximal_cliques(bench_graph(), pool, 2);
+  }();
+  return cliques;
+}
+
 void BM_Cpm_Threads(benchmark::State& state) {
   const Graph& g = ecosystem_graph();
   CpmOptions options;
@@ -52,6 +86,34 @@ BENCHMARK(BM_Cpm_Threads)
     ->Arg(4)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
+
+// All-k extraction over pre-enumerated cliques: the tentpole comparison.
+// The per-k path rescans the overlap list once per k; the sweep unites each
+// pair exactly once and snapshots communities level by level.
+void BM_Cpm_PerKAllK(benchmark::State& state) {
+  const Graph& g = bench_graph();
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<NodeSet> cliques = bench_cliques();  // copy
+    state.ResumeTiming();
+    auto result = run_cpm_on_cliques(g, std::move(cliques), {});
+    benchmark::DoNotOptimize(result.total_communities());
+  }
+}
+BENCHMARK(BM_Cpm_PerKAllK)->Unit(benchmark::kMillisecond);
+
+void BM_Cpm_SweepAllK(benchmark::State& state) {
+  const Graph& g = bench_graph();
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<NodeSet> cliques = bench_cliques();  // copy
+    state.ResumeTiming();
+    auto result = run_sweep_cpm_on_cliques(g, std::move(cliques), {});
+    benchmark::DoNotOptimize(result.cpm.total_communities());
+    benchmark::DoNotOptimize(result.tree.nodes().size());
+  }
+}
+BENCHMARK(BM_Cpm_SweepAllK)->Unit(benchmark::kMillisecond);
 
 void BM_Cpm_MaximalCliqueReduction(benchmark::State& state) {
   // Percolation over maximal cliques (ours) on a dense random graph.
@@ -90,6 +152,100 @@ void BM_Cpm_PerKScaling(benchmark::State& state) {
 BENCHMARK(BM_Cpm_PerKScaling)->Arg(2)->Arg(6)->Arg(12)
     ->Unit(benchmark::kMillisecond);
 
+// --------------------------------------------------------- --verify-sweep
+
+bool same_communities(const CpmResult& a, const CpmResult& b) {
+  if (a.min_k != b.min_k || a.max_k != b.max_k) return false;
+  for (std::size_t k = a.min_k; k <= a.max_k; ++k) {
+    const CommunitySet& sa = a.at(k);
+    const CommunitySet& sb = b.at(k);
+    if (sa.count() != sb.count()) return false;
+    for (CommunityId id = 0; id < sa.count(); ++id) {
+      if (sa.communities[id].nodes != sb.communities[id].nodes) return false;
+      if (sa.communities[id].clique_ids != sb.communities[id].clique_ids) {
+        return false;
+      }
+    }
+    if (sa.community_of_clique != sb.community_of_clique) return false;
+  }
+  return true;
+}
+
+bool same_tree(const CommunityTree& a, const CommunityTree& b) {
+  if (a.nodes().size() != b.nodes().size()) return false;
+  for (std::size_t i = 0; i < a.nodes().size(); ++i) {
+    const TreeNode& na = a.nodes()[i];
+    const TreeNode& nb = b.nodes()[i];
+    if (na.k != nb.k || na.community_id != nb.community_id ||
+        na.size != nb.size || na.parent != nb.parent ||
+        na.is_main != nb.is_main) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Verifies sweep == per-k oracle on the default synthetic graph and reports
+// the all-k extraction speedup. Gates only on identity: timing is printed
+// for the record but never fails the check (CI machines are noisy).
+int verify_sweep() {
+  const Graph& g = bench_graph();
+  const std::vector<NodeSet>& cliques = bench_cliques();
+  std::cout << "verify-sweep: " << g.num_nodes() << " nodes, "
+            << g.num_edges() << " edges, " << cliques.size()
+            << " maximal cliques\n";
+
+  constexpr int kRounds = 3;
+  double best_per_k = 1e100;
+  double best_sweep = 1e100;
+  CpmResult per_k;
+  SweepCpmResult sweep;
+  for (int round = 0; round < kRounds; ++round) {
+    {
+      std::vector<NodeSet> copy = cliques;
+      Timer t;
+      per_k = run_cpm_on_cliques(g, std::move(copy), {});
+      best_per_k = std::min(best_per_k, t.seconds());
+    }
+    {
+      std::vector<NodeSet> copy = cliques;
+      Timer t;
+      sweep = run_sweep_cpm_on_cliques(g, std::move(copy), {});
+      best_sweep = std::min(best_sweep, t.seconds());
+    }
+  }
+
+  if (!same_communities(per_k, sweep.cpm)) {
+    std::cerr << "verify-sweep: FAIL — sweep communities differ from the "
+                 "per-k oracle\n";
+    return 1;
+  }
+  const CommunityTree oracle_tree = CommunityTree::build(per_k);
+  if (!same_tree(oracle_tree, sweep.tree)) {
+    std::cerr << "verify-sweep: FAIL — sweep tree differs from "
+                 "CommunityTree::build over the per-k result\n";
+    return 1;
+  }
+
+  std::cout << "verify-sweep: OK — identical communities and tree for k in ["
+            << per_k.min_k << ", " << per_k.max_k << "] ("
+            << per_k.total_communities() << " communities)\n";
+  std::cout << "verify-sweep: all-k extraction best of " << kRounds
+            << ": per_k " << fixed(best_per_k * 1e3, 2) << " ms, sweep "
+            << fixed(best_sweep * 1e3, 2) << " ms, speedup "
+            << fixed(best_per_k / best_sweep, 2) << "x\n";
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--verify-sweep") == 0) return verify_sweep();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -19,7 +19,7 @@
 int main(int argc, char** argv) {
   using namespace kcc;
   try {
-    const CliArgs args(argc, argv, {"seed"});
+    const CliArgs args(argc, argv, {"seed", "engine"});
     SynthParams params = SynthParams::test_scale();
     params.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
     const AsEcosystem eco = generate_ecosystem(params);
@@ -29,7 +29,11 @@ int main(int argc, char** argv) {
               << " edges\n\n";
 
     // --- cover vs partition ---
-    const CpmResult cpm = run_cpm(g);
+    cpm::Options cpm_options;
+    if (args.has("engine")) {
+      cpm_options.engine = cpm::parse_engine(args.get_string("engine", ""));
+    }
+    const CpmResult cpm = cpm::Engine(cpm_options).run(g).cpm;
     const KCoreDecomposition kcore = kcore_decomposition(g);
     TextTable table({"method", "structure", "count", "overlap allowed"});
     table.add("k-clique communities (CPM)", "cover",

@@ -10,18 +10,23 @@
 #include "analysis/pipeline.h"
 #include "common/cli.h"
 #include "common/table.h"
-#include "cpm/cpm.h"
+#include "cpm/engine.h"
 #include "graph/subgraph.h"
 
 int main(int argc, char** argv) {
   using namespace kcc;
   try {
-    const CliArgs args(argc, argv, {"scale", "seed"});
+    std::vector<std::string> known{"scale", "seed"};
+    for (const std::string& flag : cpm::engine_cli_flags()) {
+      known.push_back(flag);
+    }
+    const CliArgs args(argc, argv, known);
     PipelineOptions options;
     options.synth = args.get_string("scale", "bench") == "test"
                         ? SynthParams::test_scale()
                         : SynthParams::bench_scale();
     options.synth.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+    options.cpm = cpm::options_from_cli(args, options.cpm);
 
     const PipelineResult result = run_pipeline(options);
     const AsEcosystem& eco = result.eco;
@@ -75,9 +80,10 @@ int main(int argc, char** argv) {
     std::cout << big_ixp.name << "-induced subgraph: "
               << sub.graph.num_nodes() << " ASes, " << sub.graph.num_edges()
               << " edges\n";
-    CpmOptions inner;
+    cpm::Options inner = options.cpm;
     inner.min_k = 3;
-    const CpmResult sub_cpm = run_cpm(sub.graph, inner);
+    inner.build_tree = false;  // only the per-k counts matter here
+    const CpmResult sub_cpm = cpm::Engine(inner).run(sub.graph).cpm;
     std::cout << "Communities inside it: " << sub_cpm.total_communities()
               << " over k in [" << sub_cpm.min_k << ", " << sub_cpm.max_k
               << "]\n";

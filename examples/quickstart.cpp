@@ -6,19 +6,23 @@
 //
 //   ./quickstart            # run on the built-in graph
 //   ./quickstart --edges=my_graph.txt   # run on an edge-list file
+//   ./quickstart --engine=per_k         # compare against the per-k engine
 
 #include <iostream>
 
 #include "common/cli.h"
-#include "cpm/community_tree.h"
-#include "cpm/cpm.h"
+#include "cpm/engine.h"
 #include "io/dot_export.h"
 #include "io/edge_list.h"
 
 int main(int argc, char** argv) {
   using namespace kcc;
   try {
-    const CliArgs args(argc, argv, {"edges"});
+    std::vector<std::string> known{"edges"};
+    for (const std::string& flag : cpm::engine_cli_flags()) {
+      known.push_back(flag);
+    }
+    const CliArgs args(argc, argv, known);
 
     LabeledGraph input;
     if (args.has("edges")) {
@@ -44,10 +48,13 @@ int main(int argc, char** argv) {
     std::cout << "Graph: " << input.graph.num_nodes() << " nodes, "
               << input.graph.num_edges() << " edges\n\n";
 
-    const CpmResult cpm = run_cpm(input.graph);
+    // One engine call yields communities for every k AND the nesting tree.
+    const cpm::Result result =
+        cpm::Engine(cpm::options_from_cli(args)).run(input.graph);
+    const CpmResult& cpm = result.cpm;
     std::cout << "k-clique communities (k in [" << cpm.min_k << ", "
-              << cpm.max_k << "], " << cpm.total_communities()
-              << " total):\n";
+              << cpm.max_k << "], " << cpm.total_communities() << " total, "
+              << cpm::engine_name(result.engine) << " engine):\n";
     for (std::size_t k = cpm.min_k; k <= cpm.max_k; ++k) {
       for (const Community& c : cpm.at(k).communities) {
         std::cout << "  k" << k << "id" << c.id << " = {";
@@ -58,7 +65,7 @@ int main(int argc, char** argv) {
       }
     }
 
-    const CommunityTree tree = CommunityTree::build(cpm);
+    const CommunityTree& tree = result.tree;
     std::cout << "\nCommunity tree (" << tree.main_count() << " main, "
               << tree.parallel_count() << " parallel):\n";
     for (const TreeNode& node : tree.nodes()) {

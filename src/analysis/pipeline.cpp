@@ -15,26 +15,30 @@ const CommunityMetrics& PipelineResult::metrics_of(std::size_t k,
   return level[id];
 }
 
-PipelineResult analyze_ecosystem(AsEcosystem eco, const CpmOptions& cpm_opts) {
+PipelineResult analyze_ecosystem(AsEcosystem eco, const cpm::Options& cpm_opts) {
   KCC_SPAN("pipeline/analyze");
   Timer stage_timer;  // lap() per stage keeps one timer across the sequence
   PipelineResult result;
   result.eco = std::move(eco);
   {
     KCC_SPAN("pipeline/cpm");
-    result.cpm = run_cpm(result.eco.topology.graph, cpm_opts);
-  }
-  KCC_LOG(kInfo) << "pipeline: cpm done in " << stage_timer.lap() << "s ("
-                 << result.cpm.cliques.size() << " cliques, k in ["
-                 << result.cpm.min_k << ", " << result.cpm.max_k << "])";
-  require(result.cpm.max_k >= result.cpm.min_k,
-          "analyze_ecosystem: the graph has no cliques to percolate");
-  {
-    KCC_SPAN("pipeline/tree");
-    result.tree = CommunityTree::build(result.cpm);
+    // The sweep engine emits the nesting tree in the same pass; other
+    // engines reconstruct it post-hoc inside the facade.
+    cpm::Result engine_result =
+        cpm::Engine(cpm_opts).run(result.eco.topology.graph);
+    result.cpm = std::move(engine_result.cpm);
+    require(result.cpm.max_k >= result.cpm.min_k,
+            "analyze_ecosystem: the graph has no cliques to percolate");
+    require(engine_result.has_tree,
+            "analyze_ecosystem: the engine produced no community tree");
+    result.tree = std::move(engine_result.tree);
     result.level_stats = tree_level_stats(result.tree);
   }
-  KCC_LOG(kInfo) << "pipeline: tree done in " << stage_timer.lap() << "s ("
+  KCC_LOG(kInfo) << "pipeline: cpm+tree ("
+                 << cpm::engine_name(cpm_opts.engine) << " engine) done in "
+                 << stage_timer.lap() << "s ("
+                 << result.cpm.cliques.size() << " cliques, k in ["
+                 << result.cpm.min_k << ", " << result.cpm.max_k << "], "
                  << result.tree.nodes().size() << " communities)";
   {
     KCC_SPAN("pipeline/metrics");

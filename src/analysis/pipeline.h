@@ -9,7 +9,7 @@
 
 #include "cpm/community.h"
 #include "cpm/community_tree.h"
-#include "cpm/cpm.h"
+#include "cpm/engine.h"
 #include "data/tag_analysis.h"
 #include "metrics/community_metrics.h"
 #include "metrics/overlap.h"
@@ -19,7 +19,7 @@ namespace kcc {
 
 struct PipelineOptions {
   SynthParams synth;   // used by run_pipeline (generated input)
-  CpmOptions cpm;
+  cpm::Options cpm;    // engine selection + k range (sweep by default)
 };
 
 struct PipelineResult {
@@ -39,6 +39,6 @@ struct PipelineResult {
 PipelineResult run_pipeline(const PipelineOptions& options);
 
 /// Analyses a pre-built ecosystem (e.g. loaded from disk).
-PipelineResult analyze_ecosystem(AsEcosystem eco, const CpmOptions& cpm);
+PipelineResult analyze_ecosystem(AsEcosystem eco, const cpm::Options& cpm);
 
 }  // namespace kcc

@@ -34,6 +34,15 @@ std::vector<CliqueOverlap> compute_clique_overlaps(
     const std::vector<NodeSet>& cliques, std::size_t num_nodes,
     std::size_t min_overlap, ThreadPool& pool);
 
+/// Same pair set without the final (a, b) sort — the pair ORDER depends on
+/// the shard count (i.e. on `pool.thread_count()`), only the set is
+/// deterministic. For consumers that impose their own order anyway (the
+/// sweep engine counting-sorts by overlap) this skips the dominant
+/// O(P log P) step of the join.
+std::vector<CliqueOverlap> compute_clique_overlaps_unsorted(
+    const std::vector<NodeSet>& cliques, std::size_t num_nodes,
+    std::size_t min_overlap, ThreadPool& pool);
+
 /// Sequential variant (used by tests and the single-thread ablation bench).
 std::vector<CliqueOverlap> compute_clique_overlaps_sequential(
     const std::vector<NodeSet>& cliques, std::size_t num_nodes,

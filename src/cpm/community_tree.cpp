@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "common/set_ops.h"
 
 namespace kcc {
 
@@ -18,35 +19,74 @@ const char* band_name(Band band) {
   return "?";
 }
 
+namespace {
+
+// Parent of `child` when it carries no clique ids (reference-oracle
+// results): the unique (k-1)-community whose node set contains it.
+CommunityId parent_by_containment(const Community& child,
+                                  const CommunitySet& below) {
+  for (const Community& candidate : below.communities) {
+    if (is_subset(child.nodes, candidate.nodes)) return candidate.id;
+  }
+  return CommunitySet::kNoCommunity;
+}
+
+}  // namespace
+
 CommunityTree CommunityTree::build(const CpmResult& cpm) {
   require(cpm.max_k >= cpm.min_k && !cpm.by_k.empty(),
           "CommunityTree::build: CPM result covers no k");
-  CommunityTree tree;
-  tree.min_k_ = cpm.min_k;
-  tree.max_k_ = cpm.max_k;
-  tree.levels_.resize(cpm.max_k - cpm.min_k + 1);
+  std::vector<std::vector<TreeParentLink>> levels(cpm.max_k - cpm.min_k + 1);
 
   for (std::size_t k = cpm.min_k; k <= cpm.max_k; ++k) {
     const CommunitySet& set = cpm.at(k);
-    auto& level = tree.levels_[k - cpm.min_k];
+    auto& level = levels[k - cpm.min_k];
     level.reserve(set.count());
     for (const Community& community : set.communities) {
+      TreeParentLink link;
+      link.size = community.size();
+      if (k > cpm.min_k) {
+        if (community.clique_ids.empty()) {
+          link.parent_id = parent_by_containment(community, cpm.at(k - 1));
+        } else {
+          // Nesting theorem: all cliques of this community live in one
+          // (k-1)-level component; any member clique resolves the parent.
+          const CliqueId witness = community.clique_ids.front();
+          link.parent_id = cpm.at(k - 1).community_of_clique[witness];
+        }
+        require(link.parent_id != CommunitySet::kNoCommunity,
+                "CommunityTree::build: nesting parent missing");
+      }
+      level.push_back(link);
+    }
+  }
+  return from_levels(cpm.min_k, levels);
+}
+
+CommunityTree CommunityTree::from_levels(
+    std::size_t min_k, const std::vector<std::vector<TreeParentLink>>& levels) {
+  require(!levels.empty(), "CommunityTree::from_levels: no levels");
+  CommunityTree tree;
+  tree.min_k_ = min_k;
+  tree.max_k_ = min_k + levels.size() - 1;
+  tree.levels_.resize(levels.size());
+
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const std::size_t k = min_k + i;
+    auto& level = tree.levels_[i];
+    level.reserve(levels[i].size());
+    for (CommunityId id = 0; id < levels[i].size(); ++id) {
+      const TreeParentLink& link = levels[i][id];
       TreeNode node;
       node.k = k;
-      node.community_id = community.id;
-      node.size = community.size();
-      if (k > cpm.min_k) {
-        // Nesting theorem: all cliques of this community live in one
-        // (k-1)-level component; any member clique resolves the parent.
-        require(!community.clique_ids.empty(),
-                "CommunityTree::build: community without cliques");
-        const CliqueId witness = community.clique_ids.front();
-        const CommunityId parent_id =
-            cpm.at(k - 1).community_of_clique[witness];
-        require(parent_id != CommunitySet::kNoCommunity,
-                "CommunityTree::build: nesting parent missing");
-        node.parent = tree.index_of(k - 1, parent_id);
-        require(node.parent >= 0, "CommunityTree::build: parent not indexed");
+      node.community_id = id;
+      node.size = link.size;
+      if (i > 0) {
+        require(link.parent_id != CommunitySet::kNoCommunity,
+                "CommunityTree::from_levels: parent missing above min_k");
+        node.parent = tree.index_of(k - 1, link.parent_id);
+        require(node.parent >= 0,
+                "CommunityTree::from_levels: parent not indexed");
       }
       const int index = static_cast<int>(tree.nodes_.size());
       level.push_back(index);

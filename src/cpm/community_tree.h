@@ -44,12 +44,32 @@ struct TreeNode {
   bool is_main = false;
 };
 
+/// One community's tree entry as resolved by an engine: its node count and
+/// the community id of its parent at the level below (kNoCommunity at the
+/// bottom level). Levels are vectors of these in canonical community-id
+/// order; see CommunityTree::from_levels.
+struct TreeParentLink {
+  std::size_t size = 0;
+  CommunityId parent_id = CommunitySet::kNoCommunity;
+};
+
 class CommunityTree {
  public:
   /// Builds the tree from a CPM result. When several communities exist at
   /// the maximum k, the apex is the canonical first one (largest size).
-  /// Requires cpm to cover a non-empty contiguous k range.
+  /// Requires cpm to cover a non-empty contiguous k range. Parents are
+  /// resolved through the clique -> community maps; communities that carry
+  /// no clique ids (reference-oracle results) fall back to node-containment
+  /// search.
   static CommunityTree build(const CpmResult& cpm);
+
+  /// Assembles the tree from per-level parent links already resolved by an
+  /// engine — the sweep engine produces these directly from its union-find
+  /// state, so no post-hoc reconstruction pass over the CPM result is
+  /// needed. levels[i] describes the communities at k = min_k + i in
+  /// canonical id order; parent ids refer to the level below.
+  static CommunityTree from_levels(
+      std::size_t min_k, const std::vector<std::vector<TreeParentLink>>& levels);
 
   const std::vector<TreeNode>& nodes() const { return nodes_; }
   std::size_t min_k() const { return min_k_; }

@@ -8,12 +8,15 @@
 #include "common/thread_pool.h"
 #include "common/union_find.h"
 #include "cpm/clique_index.h"
+#include "cpm/percolate_detail.h"
 #include "graph/graph_algorithms.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace kcc {
+
+namespace cpm_detail {
 namespace {
 
 // Percolation instruments. Join ops are counted per-k in a local and flushed
@@ -32,7 +35,8 @@ CpmMetrics& cpm_metrics() {
   return m;
 }
 
-// Records the per-k outcome: one gauge per k level plus set-wide instruments.
+}  // namespace
+
 void note_community_set(const CommunitySet& set) {
   CpmMetrics& m = cpm_metrics();
   m.communities.inc(set.communities.size());
@@ -44,9 +48,10 @@ void note_community_set(const CommunitySet& set) {
       .set(static_cast<std::int64_t>(set.communities.size()));
 }
 
-// Orders communities by descending size, ties by smallest member node, and
-// reassigns dense ids. The order is independent of union-find internals and
-// thread scheduling, so CPM output is bit-stable across thread counts.
+void note_join_ops(std::uint64_t join_ops) {
+  cpm_metrics().join_ops.inc(join_ops);
+}
+
 void canonicalise(CommunitySet& set, std::size_t num_cliques) {
   std::sort(set.communities.begin(), set.communities.end(),
             [](const Community& a, const Community& b) {
@@ -63,7 +68,6 @@ void canonicalise(CommunitySet& set, std::size_t num_cliques) {
   }
 }
 
-// k = 2: communities are connected components with at least one edge.
 CommunitySet percolate_k2(const Graph& g, const std::vector<NodeSet>& cliques) {
   CommunitySet set;
   set.k = 2;
@@ -98,6 +102,32 @@ CommunitySet percolate_k2(const Graph& g, const std::vector<NodeSet>& cliques) {
   return set;
 }
 
+void validate_cpm_input(std::size_t min_k, const std::vector<NodeSet>& cliques,
+                        const char* where) {
+  require(min_k >= 2, std::string(where) + ": min_k must be >= 2");
+  for (const auto& c : cliques) {
+    require(c.size() >= 2 && is_sorted_unique(c),
+            std::string(where) + ": cliques must be sorted and of size >= 2");
+  }
+}
+
+std::size_t resolve_max_k(std::size_t min_k, std::size_t max_k,
+                          const std::vector<NodeSet>& cliques) {
+  std::size_t max_clique = 0;
+  for (const auto& c : cliques) max_clique = std::max(max_clique, c.size());
+  const std::size_t resolved =
+      max_k == 0 ? max_clique : std::min(max_k, max_clique);
+  // max_k < min_k encodes the empty range; has_k() is false for every k.
+  return resolved < min_k ? min_k - 1 : resolved;
+}
+
+}  // namespace cpm_detail
+
+namespace {
+
+using cpm_detail::canonicalise;
+using cpm_detail::percolate_k2;
+
 // General k >= 3 percolation over the precomputed overlap pair list.
 CommunitySet percolate_k(std::size_t k, const std::vector<NodeSet>& cliques,
                          const std::vector<CliqueOverlap>& overlaps) {
@@ -125,7 +155,7 @@ CommunitySet percolate_k(std::size_t k, const std::vector<NodeSet>& cliques,
       ++join_ops;
     }
   }
-  cpm_metrics().join_ops.inc(join_ops);
+  cpm_detail::note_join_ops(join_ops);
 
   for (auto& group : uf.groups()) {
     Community community;
@@ -151,24 +181,14 @@ CommunitySet percolate_k(std::size_t k, const std::vector<NodeSet>& cliques,
 
 CpmResult run_cpm_on_cliques(const Graph& g, std::vector<NodeSet> cliques,
                              const CpmOptions& options) {
-  require(options.min_k >= 2, "run_cpm: min_k must be >= 2");
-  for (const auto& c : cliques) {
-    require(c.size() >= 2 && is_sorted_unique(c),
-            "run_cpm_on_cliques: cliques must be sorted and of size >= 2");
-  }
+  cpm_detail::validate_cpm_input(options.min_k, cliques, "run_cpm_on_cliques");
 
   CpmResult result;
   result.cliques = std::move(cliques);
   result.min_k = options.min_k;
-
-  std::size_t max_clique = 0;
-  for (const auto& c : result.cliques) max_clique = std::max(max_clique, c.size());
-  result.max_k = options.max_k == 0 ? max_clique
-                                    : std::min(options.max_k, max_clique);
-  if (result.max_k < result.min_k) {
-    result.max_k = result.min_k - 1;  // empty range, has_k() is false for all
-    return result;
-  }
+  result.max_k =
+      cpm_detail::resolve_max_k(options.min_k, options.max_k, result.cliques);
+  if (result.max_k < result.min_k) return result;
 
   ThreadPool pool(options.threads);
 
@@ -192,7 +212,7 @@ CpmResult run_cpm_on_cliques(const Graph& g, std::vector<NodeSet> cliques,
       const obs::ScopedSpan span("cpm/percolate_k=" + std::to_string(k));
       result.by_k[i] = k == 2 ? percolate_k2(g, result.cliques)
                               : percolate_k(k, result.cliques, overlaps);
-      note_community_set(result.by_k[i]);
+      cpm_detail::note_community_set(result.by_k[i]);
     });
   }
   return result;

@@ -18,6 +18,11 @@
 // cliques are enumerated in parallel, the overlap index is computed in
 // parallel over cliques, and the per-k percolations — which are mutually
 // independent — run in parallel across k.
+//
+// Compatibility note: the free functions below are the per-k engine, kept
+// verbatim as the reference oracle. New code should go through the
+// cpm::Engine facade (cpm/engine.h), whose default sweep engine produces
+// the same communities for all k plus the nesting tree in a single pass.
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,205 @@
+#include "cpm/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "clique/parallel_cliques.h"
+#include "common/error.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "cpm/reference_cpm.h"
+#include "cpm/sweep_cpm.h"
+#include "cpm/weighted_cpm.h"
+#include "obs/trace.h"
+
+namespace kcc::cpm {
+namespace {
+
+// Wraps plain per-k node-set lists (reference / weighted results) in the
+// common CpmResult shape. Communities carry no clique ids; tree assembly
+// falls back to node-containment parent search.
+CpmResult result_from_node_sets(std::size_t min_k,
+                                std::vector<std::vector<NodeSet>> by_k) {
+  CpmResult result;
+  result.min_k = min_k;
+  result.max_k = min_k + by_k.size() - 1;  // wraps to min_k - 1 when empty
+  for (std::size_t i = 0; i < by_k.size(); ++i) {
+    CommunitySet set;
+    set.k = min_k + i;
+    // Re-establish the canonical order (size desc, nodes lex) shared by all
+    // engines; the oracle lists communities lexicographically.
+    std::sort(by_k[i].begin(), by_k[i].end(),
+              [](const NodeSet& a, const NodeSet& b) {
+                if (a.size() != b.size()) return a.size() > b.size();
+                return a < b;
+              });
+    for (CommunityId id = 0; id < by_k[i].size(); ++id) {
+      Community c;
+      c.k = set.k;
+      c.id = id;
+      c.nodes = std::move(by_k[i][id]);
+      set.communities.push_back(std::move(c));
+    }
+    result.by_k.push_back(std::move(set));
+  }
+  return result;
+}
+
+// Runs `communities_at(k)` for ascending k until the range is exhausted:
+// either the configured max_k, or the first empty k when max_k is 0 (the
+// nesting theorem guarantees no later k can be non-empty).
+template <typename Fn>
+CpmResult collect_per_k(const Options& options, Fn&& communities_at) {
+  std::vector<std::vector<NodeSet>> by_k;
+  for (std::size_t k = options.min_k;
+       options.max_k == 0 || k <= options.max_k; ++k) {
+    std::vector<NodeSet> communities = communities_at(k);
+    if (communities.empty() && options.max_k == 0) break;
+    by_k.push_back(std::move(communities));
+  }
+  // Trim trailing empty levels so max_k reflects the last populated k.
+  while (!by_k.empty() && by_k.back().empty()) by_k.pop_back();
+  return result_from_node_sets(options.min_k, std::move(by_k));
+}
+
+}  // namespace
+
+const char* engine_name(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kSweep:
+      return "sweep";
+    case EngineKind::kPerK:
+      return "per_k";
+    case EngineKind::kReference:
+      return "reference";
+  }
+  return "?";
+}
+
+EngineKind parse_engine(const std::string& name) {
+  if (name == "sweep") return EngineKind::kSweep;
+  if (name == "per_k") return EngineKind::kPerK;
+  if (name == "reference") return EngineKind::kReference;
+  throw Error("unknown engine '" + name + "' (sweep|per_k|reference)");
+}
+
+CpmOptions Options::cpm_options() const {
+  CpmOptions legacy;
+  legacy.min_k = min_k;
+  legacy.max_k = max_k;
+  legacy.threads = threads;
+  return legacy;
+}
+
+Engine::Engine(Options options) : options_(std::move(options)) {
+  require(options_.min_k >= 2, "cpm::Engine: min_k must be >= 2");
+  require(options_.min_clique_size >= 2,
+          "cpm::Engine: min_clique_size must be >= 2");
+}
+
+Result Engine::run(const Graph& g) const {
+  if (options_.engine == EngineKind::kReference) {
+    KCC_SPAN("cpm_engine/reference");
+    Timer total;
+    Result result;
+    result.engine = EngineKind::kReference;
+    result.cpm = collect_per_k(options_, [&](std::size_t k) {
+      return reference_k_clique_communities(g, k);
+    });
+    result.timings.percolate_seconds = total.lap();
+    if (options_.build_tree && result.cpm.max_k >= result.cpm.min_k) {
+      result.tree = CommunityTree::build(result.cpm);
+      result.has_tree = true;
+      result.timings.tree_seconds = total.lap();
+    }
+    result.timings.total_seconds = total.seconds();
+    return result;
+  }
+
+  Timer cliques_timer;
+  std::vector<NodeSet> cliques;
+  {
+    KCC_SPAN("cpm_engine/cliques");
+    ThreadPool pool(options_.threads);
+    cliques = parallel_maximal_cliques(g, pool, options_.min_clique_size);
+  }
+  const double cliques_seconds = cliques_timer.seconds();
+  Result result = run_on_cliques(g, std::move(cliques));
+  result.timings.cliques_seconds = cliques_seconds;
+  result.timings.total_seconds += cliques_seconds;
+  return result;
+}
+
+Result Engine::run_on_cliques(const Graph& g,
+                              std::vector<NodeSet> cliques) const {
+  require(options_.engine != EngineKind::kReference,
+          "cpm::Engine: the reference engine enumerates k-cliques itself; "
+          "use run(g)");
+  Timer total;
+  Result result;
+  result.engine = options_.engine;
+  const CpmOptions legacy = options_.cpm_options();
+  if (options_.engine == EngineKind::kSweep) {
+    KCC_SPAN("cpm_engine/sweep");
+    SweepCpmResult sweep = run_sweep_cpm_on_cliques(g, std::move(cliques), legacy);
+    result.cpm = std::move(sweep.cpm);
+    result.timings.percolate_seconds = total.lap();
+    if (options_.build_tree && result.cpm.max_k >= result.cpm.min_k) {
+      // The sweep built the tree in the same pass; adopt it.
+      result.tree = std::move(sweep.tree);
+      result.has_tree = true;
+    }
+  } else {
+    KCC_SPAN("cpm_engine/per_k");
+    result.cpm = run_cpm_on_cliques(g, std::move(cliques), legacy);
+    result.timings.percolate_seconds = total.lap();
+    if (options_.build_tree && result.cpm.max_k >= result.cpm.min_k) {
+      result.tree = CommunityTree::build(result.cpm);
+      result.has_tree = true;
+      result.timings.tree_seconds = total.lap();
+    }
+  }
+  result.timings.total_seconds = total.seconds();
+  return result;
+}
+
+Result Engine::run_weighted(const Graph& g, const EdgeWeights& weights) const {
+  KCC_SPAN("cpm_engine/weighted");
+  Timer total;
+  Result result;
+  result.engine = options_.engine;
+  result.cpm = collect_per_k(options_, [&](std::size_t k) {
+    WeightedCpmOptions weighted;
+    weighted.k = k;
+    weighted.intensity_threshold = options_.intensity_threshold;
+    weighted.max_cliques = options_.max_weighted_cliques;
+    return weighted_k_clique_communities(g, weights, weighted);
+  });
+  result.timings.percolate_seconds = total.lap();
+  result.timings.total_seconds = total.seconds();
+  // Intensity filtering can break the nesting theorem, so has_tree stays
+  // false regardless of build_tree.
+  return result;
+}
+
+const std::vector<std::string>& engine_cli_flags() {
+  static const std::vector<std::string> flags{"k-min", "k-max", "engine",
+                                              "threads"};
+  return flags;
+}
+
+Options options_from_cli(const CliArgs& args, Options defaults) {
+  Options options = std::move(defaults);
+  options.min_k = static_cast<std::size_t>(
+      args.get_int("k-min", static_cast<std::int64_t>(options.min_k)));
+  options.max_k = static_cast<std::size_t>(
+      args.get_int("k-max", static_cast<std::int64_t>(options.max_k)));
+  options.threads = static_cast<std::size_t>(
+      args.get_int("threads", static_cast<std::int64_t>(options.threads)));
+  if (args.has("engine")) {
+    options.engine = parse_engine(args.get_string("engine", "sweep"));
+  }
+  return options;
+}
+
+}  // namespace kcc::cpm

@@ -1,0 +1,126 @@
+// cpm::Engine — the one front door to clique percolation.
+//
+// Historically the library exposed three divergent entry points: run_cpm
+// (maximal-clique reduction, per-k percolation), reference_k_clique_communities
+// (the literal Sec. 3 definition, used as a test oracle) and
+// weighted_k_clique_communities (CPMw intensity filtering). Each had its own
+// options and result shape, and none produced the community tree. The Engine
+// facade unifies them: one Options struct selects the k range, the clique
+// floor, the intensity threshold and the engine (sweep | per_k | reference);
+// one Result carries communities-by-k, the nesting tree and per-stage
+// timings. The old free functions remain as thin compatibility wrappers —
+// new code should construct an Engine.
+//
+//   cpm::Options options;
+//   options.max_k = 12;
+//   cpm::Result result = cpm::Engine(options).run(graph);
+//   use(result.cpm.at(5), result.tree);
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "cpm/community_tree.h"
+#include "cpm/cpm.h"
+#include "graph/graph.h"
+#include "graph/weighted_graph.h"
+
+namespace kcc::cpm {
+
+/// Which percolation implementation runs.
+///  * kSweep — single descending-k union-find sweep over the sorted overlap
+///    list; produces the community tree in the same pass (the default).
+///  * kPerK — one independent percolation per k over the shared overlap
+///    list (the original LP-CPM structure; kept as the reference oracle).
+///  * kReference — the literal k-clique-graph definition; exponential, for
+///    validation on small graphs only.
+enum class EngineKind { kSweep, kPerK, kReference };
+
+const char* engine_name(EngineKind kind);
+
+/// Parses "sweep" | "per_k" | "reference"; throws kcc::Error otherwise.
+EngineKind parse_engine(const std::string& name);
+
+struct Options {
+  /// Smallest community order to extract (>= 2).
+  std::size_t min_k = 2;
+
+  /// Largest community order; 0 means "up to the maximum clique size" (for
+  /// the reference and weighted paths: until a k yields no community).
+  std::size_t max_k = 0;
+
+  /// Maximal cliques smaller than this are dropped before percolation
+  /// (>= 2). Raising it prunes the overlap index when only high k matters.
+  std::size_t min_clique_size = 2;
+
+  /// Worker threads; 0 means hardware concurrency, 1 forces sequential.
+  std::size_t threads = 0;
+
+  EngineKind engine = EngineKind::kSweep;
+
+  /// Weighted runs (Engine::run_weighted) keep only k-cliques whose
+  /// intensity (geometric mean edge weight) reaches this threshold.
+  double intensity_threshold = 0.0;
+
+  /// Safety valve for weighted runs: abort when a single k would enumerate
+  /// more than this many k-cliques (0 disables).
+  std::size_t max_weighted_cliques = 5'000'000;
+
+  /// Skip tree assembly (Result::has_tree stays false).
+  bool build_tree = true;
+
+  /// Projection onto the legacy per-engine option struct.
+  CpmOptions cpm_options() const;
+};
+
+/// Wall-clock seconds per stage of the last run.
+struct Timings {
+  double cliques_seconds = 0.0;    // maximal-clique enumeration
+  double percolate_seconds = 0.0;  // community extraction (all k)
+  double tree_seconds = 0.0;       // nesting-tree assembly
+  double total_seconds = 0.0;
+};
+
+struct Result {
+  CpmResult cpm;       // communities for every k, plus the clique table
+  CommunityTree tree;  // valid iff has_tree
+  bool has_tree = false;
+  EngineKind engine = EngineKind::kSweep;
+  Timings timings;
+};
+
+class Engine {
+ public:
+  explicit Engine(Options options = {});
+
+  const Options& options() const { return options_; }
+
+  /// Enumerates maximal cliques of `g` and extracts communities + tree.
+  Result run(const Graph& g) const;
+
+  /// Same over a pre-enumerated maximal-clique set (sorted, size >= 2).
+  /// Not available for the reference engine, which enumerates k-cliques
+  /// itself.
+  Result run_on_cliques(const Graph& g, std::vector<NodeSet> cliques) const;
+
+  /// CPMw: communities among k-cliques whose intensity reaches
+  /// options().intensity_threshold. Intensity filtering can break the
+  /// nesting theorem, so no tree is produced.
+  Result run_weighted(const Graph& g, const EdgeWeights& weights) const;
+
+ private:
+  Options options_;
+};
+
+/// Flag names of the shared engine CLI surface (--k-min, --k-max, --engine,
+/// --threads); append these to a binary's known-flag list so unknown flags
+/// still fail loudly.
+const std::vector<std::string>& engine_cli_flags();
+
+/// Applies the shared engine flags on top of `defaults`:
+///   --k-min=N --k-max=N --engine=sweep|per_k|reference --threads=N
+Options options_from_cli(const CliArgs& args, Options defaults = {});
+
+}  // namespace kcc::cpm

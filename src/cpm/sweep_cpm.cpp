@@ -1,0 +1,249 @@
+#include "cpm/sweep_cpm.h"
+
+#include <algorithm>
+
+#include "clique/parallel_cliques.h"
+#include "common/error.h"
+#include "common/set_ops.h"
+#include "common/thread_pool.h"
+#include "common/union_find.h"
+#include "cpm/clique_index.h"
+#include "cpm/percolate_detail.h"
+#include "obs/log.h"
+#include "obs/trace.h"
+
+namespace kcc {
+namespace {
+
+// Overlap pairs sorted by overlap size descending, with the contiguous
+// range of each overlap value exposed so the sweep can consume one bucket
+// per level.
+struct SortedOverlaps {
+  std::vector<CliqueOverlap> pairs;  // overlap descending, stable within
+  std::vector<std::size_t> begin;    // begin[o] = first index with overlap o
+  std::vector<std::size_t> count;    // count[o] = pairs with overlap o
+};
+
+// Parallel sharded counting sort: each shard histograms its contiguous
+// chunk, offsets are combined per (overlap, shard), and shards scatter
+// concurrently. Shard s writes after shards < s within every bucket, so the
+// result is stable and fully deterministic regardless of thread count.
+SortedOverlaps sort_overlaps_desc(std::vector<CliqueOverlap> overlaps,
+                                  std::size_t max_overlap, ThreadPool& pool) {
+  SortedOverlaps out;
+  out.begin.assign(max_overlap + 2, 0);
+  out.count.assign(max_overlap + 2, 0);
+  const std::size_t n = overlaps.size();
+  if (n == 0) return out;
+
+  const std::size_t num_shards = std::clamp<std::size_t>(
+      pool.thread_count() * 4, 1, std::max<std::size_t>(n / 1024, 1));
+  const std::size_t chunk = (n + num_shards - 1) / num_shards;
+  auto shard_range = [&](std::size_t s) {
+    return std::pair<std::size_t, std::size_t>(
+        s * chunk, std::min(n, (s + 1) * chunk));
+  };
+
+  std::vector<std::vector<std::size_t>> histogram(
+      num_shards, std::vector<std::size_t>(max_overlap + 2, 0));
+  parallel_for(pool, num_shards, [&](std::size_t s) {
+    auto [lo, hi] = shard_range(s);
+    for (std::size_t i = lo; i < hi; ++i) {
+      require(overlaps[i].overlap <= max_overlap,
+              "sort_overlaps_desc: overlap exceeds the clique-size bound");
+      ++histogram[s][overlaps[i].overlap];
+    }
+  });
+
+  // Bucket layout (descending overlap), then per-shard write cursors.
+  std::size_t offset = 0;
+  for (std::size_t o = max_overlap + 1; o-- > 0;) {
+    for (std::size_t s = 0; s < num_shards; ++s) out.count[o] += histogram[s][o];
+    out.begin[o] = offset;
+    offset += out.count[o];
+  }
+  std::vector<std::vector<std::size_t>> cursor(
+      num_shards, std::vector<std::size_t>(max_overlap + 2, 0));
+  for (std::size_t o = 0; o <= max_overlap; ++o) {
+    std::size_t at = out.begin[o];
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      cursor[s][o] = at;
+      at += histogram[s][o];
+    }
+  }
+
+  out.pairs.resize(n);
+  parallel_for(pool, num_shards, [&](std::size_t s) {
+    auto [lo, hi] = shard_range(s);
+    for (std::size_t i = lo; i < hi; ++i) {
+      out.pairs[cursor[s][overlaps[i].overlap]++] = overlaps[i];
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
+SweepCpmResult run_sweep_cpm_on_cliques(const Graph& g,
+                                        std::vector<NodeSet> cliques,
+                                        const CpmOptions& options) {
+  cpm_detail::validate_cpm_input(options.min_k, cliques,
+                                 "run_sweep_cpm_on_cliques");
+  SweepCpmResult out;
+  CpmResult& result = out.cpm;
+  result.cliques = std::move(cliques);
+  result.min_k = options.min_k;
+  result.max_k =
+      cpm_detail::resolve_max_k(options.min_k, options.max_k, result.cliques);
+  if (result.max_k < result.min_k) return out;
+
+  ThreadPool pool(options.threads);
+  const std::size_t num_cliques = result.cliques.size();
+  std::size_t max_size = 0;
+  for (const auto& c : result.cliques) max_size = std::max(max_size, c.size());
+
+  result.by_k.resize(result.max_k - result.min_k + 1);
+  std::vector<std::vector<TreeParentLink>> tree_levels(result.by_k.size());
+
+  // Representative clique of each community at the previously emitted
+  // (next-higher) level, in canonical id order; resolving it against the
+  // current level's clique -> community map yields the nesting parent.
+  std::vector<CliqueId> reps_above;
+
+  // Records one finished level: canonical order, metrics, the parent ids of
+  // the level above, and this level's tree skeleton.
+  auto emit_level = [&](CommunitySet set) {
+    const std::size_t k = set.k;
+    cpm_detail::canonicalise(set, num_cliques);
+    cpm_detail::note_community_set(set);
+    if (k < result.max_k) {
+      auto& above = tree_levels[k + 1 - result.min_k];
+      for (std::size_t i = 0; i < reps_above.size(); ++i) {
+        above[i].parent_id = set.community_of_clique[reps_above[i]];
+        require(above[i].parent_id != CommunitySet::kNoCommunity,
+                "run_sweep_cpm: nesting parent missing");
+      }
+    }
+    auto& links = tree_levels[k - result.min_k];
+    links.resize(set.count());
+    reps_above.assign(set.count(), 0);
+    for (CommunityId id = 0; id < set.count(); ++id) {
+      links[id].size = set.communities[id].size();
+      reps_above[id] = set.communities[id].clique_ids.front();
+    }
+    result.by_k[k - result.min_k] = std::move(set);
+  };
+
+  // ---- the k >= 3 descending sweep ----
+  if (result.max_k >= 3) {
+    std::vector<CliqueOverlap> overlaps;
+    {
+      KCC_SPAN("sweep_cpm/clique_overlaps");
+      // The counting sort below imposes the only order the sweep needs, so
+      // skip the join's (a, b) sort — the dominant O(P log P) step.
+      overlaps = compute_clique_overlaps_unsorted(result.cliques,
+                                                  g.num_nodes(), 2, pool);
+    }
+    SortedOverlaps sorted;
+    {
+      KCC_SPAN("sweep_cpm/sort_overlaps");
+      // Two distinct maximal cliques share at most min(|A|, |B|) - 1 nodes.
+      sorted = sort_overlaps_desc(std::move(overlaps), max_size - 1, pool);
+    }
+    KCC_LOG(kDebug) << "run_sweep_cpm: " << num_cliques << " cliques, "
+                    << sorted.pairs.size() << " overlap pairs, k in ["
+                    << result.min_k << ", " << result.max_k << "]";
+
+    std::vector<std::vector<CliqueId>> cliques_of_size(max_size + 1);
+    for (CliqueId c = 0; c < num_cliques; ++c) {
+      cliques_of_size[result.cliques[c].size()].push_back(c);
+    }
+
+    KCC_SPAN("sweep_cpm/sweep");
+    UnionFind uf(num_cliques);
+    std::vector<CliqueId> live;  // cliques of size >= current level
+    std::uint64_t join_ops = 0;
+
+    // Scratch root -> community slot map, epoch-stamped so each level's
+    // grouping pass is O(|live|) with no per-level clearing.
+    std::vector<std::uint32_t> stamp(num_cliques, 0);
+    std::vector<std::uint32_t> slot(num_cliques, 0);
+    std::uint32_t epoch = 0;
+
+    const std::size_t lowest = std::max<std::size_t>(3, result.min_k);
+    for (std::size_t k = max_size; k >= lowest; --k) {
+      for (CliqueId c : cliques_of_size[k]) live.push_back(c);  // activate
+      // Pairs with overlap k-1 become k-clique-adjacent at this level; both
+      // endpoints have size >= overlap + 1 = k, so they are already live.
+      const std::size_t first = sorted.begin[k - 1];
+      for (std::size_t i = first; i < first + sorted.count[k - 1]; ++i) {
+        uf.unite(sorted.pairs[i].a, sorted.pairs[i].b);
+        ++join_ops;
+      }
+      if (k > result.max_k) continue;  // above the requested range
+
+      // Snapshot: components over the live cliques are the communities at k.
+      const obs::ScopedSpan span("sweep_cpm/emit_k=" + std::to_string(k));
+      CommunitySet set;
+      set.k = k;
+      ++epoch;
+      for (CliqueId c : live) {
+        const std::uint32_t root = uf.find(c);
+        if (stamp[root] != epoch) {
+          stamp[root] = epoch;
+          slot[root] = static_cast<std::uint32_t>(set.communities.size());
+          Community community;
+          community.k = k;
+          set.communities.push_back(std::move(community));
+        }
+        set.communities[slot[root]].clique_ids.push_back(c);
+      }
+      for (Community& community : set.communities) {
+        // Activation appends size-k batches, so live is not globally sorted.
+        std::sort(community.clique_ids.begin(), community.clique_ids.end());
+        for (CliqueId c : community.clique_ids) {
+          community.nodes.insert(community.nodes.end(),
+                                 result.cliques[c].begin(),
+                                 result.cliques[c].end());
+        }
+        sort_unique(community.nodes);
+      }
+      emit_level(std::move(set));
+    }
+    cpm_detail::note_join_ops(join_ops);
+  }
+
+  // ---- the k = 2 level: connected components ----
+  if (result.min_k == 2) {
+    KCC_SPAN("sweep_cpm/percolate_k2");
+    CommunitySet set = cpm_detail::percolate_k2(g, result.cliques);
+    cpm_detail::note_community_set(set);
+    if (result.max_k >= 3) {
+      auto& above = tree_levels[1];
+      for (std::size_t i = 0; i < reps_above.size(); ++i) {
+        above[i].parent_id = set.community_of_clique[reps_above[i]];
+      }
+    }
+    auto& links = tree_levels[0];
+    links.resize(set.count());
+    for (CommunityId id = 0; id < set.count(); ++id) {
+      links[id].size = set.communities[id].size();
+    }
+    result.by_k[0] = std::move(set);
+  }
+
+  {
+    KCC_SPAN("sweep_cpm/tree");
+    out.tree = CommunityTree::from_levels(result.min_k, tree_levels);
+  }
+  return out;
+}
+
+SweepCpmResult run_sweep_cpm(const Graph& g, const CpmOptions& options) {
+  require(options.min_k >= 2, "run_sweep_cpm: min_k must be >= 2");
+  ThreadPool pool(options.threads);
+  std::vector<NodeSet> cliques = parallel_maximal_cliques(g, pool, 2);
+  return run_sweep_cpm_on_cliques(g, std::move(cliques), options);
+}
+
+}  // namespace kcc

@@ -1,0 +1,54 @@
+// Single-sweep community-tree engine.
+//
+// The per-k engine (cpm.h) re-scans the whole clique-overlap pair list once
+// per k — O(k_max * |overlaps|) work over identical data. The nesting
+// theorem (paper Sec. 3.1) says the communities at k are coarsened, not
+// recomputed, as k decreases: lowering the threshold only merges components.
+// This engine exploits that directly, Kruskal-style:
+//
+//  1. sort the overlap pairs by overlap size descending (a parallel sharded
+//     counting sort over the ThreadPool — overlap values are small
+//     integers, so the sort is O(|overlaps|));
+//  2. run ONE union-find sweep from k = k_max down to 3: at level k,
+//     activate the cliques of size k and unite the pairs with overlap
+//     exactly k-1 (pairs with larger overlap were united at higher k);
+//     after those unions the union-find components over the live cliques
+//     ARE the k-clique communities at k — a per-k snapshot of a single
+//     evolving structure rather than an independent percolation;
+//  3. materialize each requested level from that snapshot, and resolve each
+//     (k+1)-community's nesting parent against the freshly emitted level —
+//     so the full community tree (Fig. 4.2) falls out of the same pass
+//     instead of being reconstructed post-hoc.
+//
+// Every pair is therefore united exactly once across all k, and the output
+// (community node sets, ids, clique maps, tree) is bit-identical to the
+// per-k engine's.
+#pragma once
+
+#include <vector>
+
+#include "cpm/community_tree.h"
+#include "cpm/cpm.h"
+#include "graph/graph.h"
+
+namespace kcc {
+
+/// Output of the single-sweep engine: the standard CPM result plus the
+/// nesting tree, built during the sweep itself. When the k range is empty
+/// the tree is default-constructed (no nodes).
+struct SweepCpmResult {
+  CpmResult cpm;
+  CommunityTree tree;
+};
+
+/// Extracts all k-clique communities and the community tree of `g` in one
+/// descending-k sweep. Options are shared with the per-k engine.
+SweepCpmResult run_sweep_cpm(const Graph& g, const CpmOptions& options = {});
+
+/// Same, over a pre-enumerated maximal-clique set (each clique sorted, size
+/// >= 2). `g` is still needed for the k = 2 special case.
+SweepCpmResult run_sweep_cpm_on_cliques(const Graph& g,
+                                        std::vector<NodeSet> cliques,
+                                        const CpmOptions& options = {});
+
+}  // namespace kcc

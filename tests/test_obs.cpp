@@ -523,14 +523,22 @@ TEST(ObsPipelineSmoke, InstrumentationFiresEndToEnd) {
   }
   for (const char* stage :
        {"pipeline/generate", "pipeline/analyze", "pipeline/cpm",
-        "pipeline/tree", "pipeline/metrics", "pipeline/profiles",
-        "pipeline/bands", "pipeline/overlaps"}) {
+        "pipeline/metrics", "pipeline/profiles", "pipeline/bands",
+        "pipeline/overlaps"}) {
     EXPECT_EQ(span_count[stage], 1) << stage;
   }
   EXPECT_GE(span_count["clique/parallel_enumerate"], 1);
   EXPECT_GE(span_count["cpm/overlap_join"], 1);
-  for (std::size_t k = result.cpm.min_k; k <= result.cpm.max_k; ++k) {
-    EXPECT_EQ(span_count["cpm/percolate_k=" + std::to_string(k)], 1)
+  // The pipeline runs the sweep engine: one snapshot span per emitted k >= 3,
+  // plus the k=2 component pass and the in-pass tree assembly.
+  for (const char* stage :
+       {"cpm_engine/sweep", "sweep_cpm/clique_overlaps",
+        "sweep_cpm/sort_overlaps", "sweep_cpm/sweep",
+        "sweep_cpm/percolate_k2", "sweep_cpm/tree"}) {
+    EXPECT_EQ(span_count[stage], 1) << stage;
+  }
+  for (std::size_t k = 3; k <= result.cpm.max_k; ++k) {
+    EXPECT_EQ(span_count["sweep_cpm/emit_k=" + std::to_string(k)], 1)
         << "k=" << k;
   }
   tracer.clear();

@@ -168,7 +168,7 @@ TEST(Pipeline, AnalyzePrebuiltEcosystem) {
   p.seed = 9;
   AsEcosystem eco = generate_ecosystem(p);
   const std::size_t n = eco.num_ases();
-  CpmOptions cpm;
+  cpm::Options cpm;
   cpm.max_k = 6;  // restrict for speed
   const PipelineResult r = analyze_ecosystem(std::move(eco), cpm);
   EXPECT_EQ(r.eco.num_ases(), n);

@@ -1,0 +1,289 @@
+// The single-sweep engine against the per-k oracle: set-identical
+// communities for every k on a spread of graph families and seeds, the
+// nesting invariant of the in-pass community tree, and the cpm::Engine
+// facade that fronts both.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "common/error.h"
+#include "common/set_ops.h"
+#include "cpm/cpm.h"
+#include "cpm/engine.h"
+#include "cpm/sweep_cpm.h"
+#include "synth/as_topology.h"
+#include "test_helpers.h"
+
+namespace kcc {
+namespace {
+
+using testing::complete_graph;
+using testing::make_graph;
+using testing::overlapping_cliques;
+using testing::preferential_attachment_graph;
+using testing::random_graph;
+
+// Full structural equality, not just set equality: the sweep promises the
+// same canonical order, ids, clique ids and clique->community map as the
+// per-k engine.
+void expect_same_cpm(const CpmResult& oracle, const CpmResult& sweep,
+                     const std::string& label) {
+  ASSERT_EQ(oracle.min_k, sweep.min_k) << label;
+  ASSERT_EQ(oracle.max_k, sweep.max_k) << label;
+  for (std::size_t k = oracle.min_k; k <= oracle.max_k; ++k) {
+    const CommunitySet& a = oracle.at(k);
+    const CommunitySet& b = sweep.at(k);
+    ASSERT_EQ(a.count(), b.count()) << label << " k=" << k;
+    for (CommunityId id = 0; id < a.count(); ++id) {
+      EXPECT_EQ(a.communities[id].nodes, b.communities[id].nodes)
+          << label << " k=" << k << " id=" << id;
+      EXPECT_EQ(a.communities[id].clique_ids, b.communities[id].clique_ids)
+          << label << " k=" << k << " id=" << id;
+      EXPECT_EQ(b.communities[id].id, id) << label << " k=" << k;
+      EXPECT_EQ(b.communities[id].k, k) << label << " k=" << k;
+    }
+    EXPECT_EQ(a.community_of_clique, b.community_of_clique)
+        << label << " k=" << k;
+  }
+}
+
+// Every community at level k > min_k must nest inside the community its
+// tree parent points at, and the parent must live exactly one level below.
+void expect_nesting(const CpmResult& cpm, const CommunityTree& tree,
+                    const std::string& label) {
+  ASSERT_EQ(tree.min_k(), cpm.min_k) << label;
+  ASSERT_EQ(tree.max_k(), cpm.max_k) << label;
+  for (std::size_t k = cpm.min_k; k <= cpm.max_k; ++k) {
+    ASSERT_EQ(tree.level(k).size(), cpm.at(k).count()) << label << " k=" << k;
+    for (int idx : tree.level(k)) {
+      const TreeNode& node = tree.nodes()[idx];
+      EXPECT_EQ(node.k, k) << label;
+      EXPECT_EQ(node.size, cpm.at(k).communities[node.community_id].size())
+          << label << " k=" << k;
+      if (k == cpm.min_k) {
+        EXPECT_LT(node.parent, 0) << label << " bottom level has no parent";
+        continue;
+      }
+      ASSERT_GE(node.parent, 0) << label << " k=" << k;
+      const TreeNode& parent = tree.nodes()[node.parent];
+      EXPECT_EQ(parent.k, k - 1) << label;
+      EXPECT_TRUE(is_subset(cpm.at(k).communities[node.community_id].nodes,
+                            cpm.at(k - 1).communities[parent.community_id].nodes))
+          << label << " k=" << k << " id=" << node.community_id;
+    }
+  }
+}
+
+void check_graph(const Graph& g, const std::string& label,
+                 CpmOptions options = {}) {
+  const CpmResult oracle = run_cpm(g, options);
+  const SweepCpmResult sweep = run_sweep_cpm(g, options);
+  expect_same_cpm(oracle, sweep.cpm, label);
+  if (sweep.cpm.max_k < sweep.cpm.min_k) return;  // nothing to arrange
+  expect_nesting(sweep.cpm, sweep.tree, label);
+
+  // from_levels (in-pass) must agree with the post-hoc construction.
+  const CommunityTree rebuilt = CommunityTree::build(oracle);
+  ASSERT_EQ(rebuilt.nodes().size(), sweep.tree.nodes().size()) << label;
+  for (std::size_t i = 0; i < rebuilt.nodes().size(); ++i) {
+    const TreeNode& a = rebuilt.nodes()[i];
+    const TreeNode& b = sweep.tree.nodes()[i];
+    EXPECT_EQ(a.k, b.k) << label;
+    EXPECT_EQ(a.community_id, b.community_id) << label;
+    EXPECT_EQ(a.size, b.size) << label;
+    EXPECT_EQ(a.parent, b.parent) << label;
+    EXPECT_EQ(a.children, b.children) << label;
+    EXPECT_EQ(a.is_main, b.is_main) << label;
+  }
+}
+
+// ------------------------------------------------ sweep vs per-k oracle
+
+TEST(SweepCpm, MatchesOracleOnRandomGraphs) {
+  // >= 10 independent seeds across two densities.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    check_graph(random_graph(60, 0.2, seed),
+                "random n=60 p=0.2 seed=" + std::to_string(seed));
+  }
+  for (std::uint64_t seed = 7; seed <= 12; ++seed) {
+    check_graph(random_graph(40, 0.4, seed),
+                "random n=40 p=0.4 seed=" + std::to_string(seed));
+  }
+}
+
+TEST(SweepCpm, MatchesOracleOnScaleFreeGraphs) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    check_graph(preferential_attachment_graph(150, 4, seed),
+                "pa n=150 m=4 seed=" + std::to_string(seed));
+  }
+}
+
+TEST(SweepCpm, MatchesOracleOnSyntheticEcosystem) {
+  SynthParams params = SynthParams::test_scale();
+  for (std::uint64_t seed : {7u, 42u}) {
+    params.seed = seed;
+    const Graph g = generate_ecosystem(params).topology.graph;
+    check_graph(g, "synth seed=" + std::to_string(seed));
+  }
+}
+
+TEST(SweepCpm, MatchesOracleOnStructuredGraphs) {
+  check_graph(complete_graph(8), "K8");
+  check_graph(overlapping_cliques(5, 5, 3), "two 5-cliques sharing 3");
+  check_graph(overlapping_cliques(6, 4, 2), "6-clique and 4-clique sharing 2");
+  check_graph(make_graph(4, {{0, 1}, {2, 3}}), "two disjoint edges");
+}
+
+TEST(SweepCpm, MatchesOracleWithRestrictedKRange) {
+  const Graph g = random_graph(50, 0.3, 99);
+  for (std::size_t min_k : {2u, 3u, 4u, 6u}) {
+    CpmOptions options;
+    options.min_k = min_k;
+    check_graph(g, "min_k=" + std::to_string(min_k), options);
+    options.max_k = min_k + 2;
+    check_graph(g, "k in [" + std::to_string(min_k) + ", +2]", options);
+  }
+}
+
+TEST(SweepCpm, EmptyRangeYieldsNoLevelsAndNoTree) {
+  // Min_k above the largest clique: nothing percolates.
+  CpmOptions options;
+  options.min_k = 9;
+  const SweepCpmResult sweep = run_sweep_cpm(complete_graph(5), options);
+  EXPECT_LT(sweep.cpm.max_k, sweep.cpm.min_k);
+  EXPECT_TRUE(sweep.cpm.by_k.empty());
+  EXPECT_TRUE(sweep.tree.nodes().empty());
+}
+
+TEST(SweepCpm, RejectsBadInput) {
+  CpmOptions options;
+  options.min_k = 1;
+  EXPECT_THROW(run_sweep_cpm(complete_graph(3), options), Error);
+  EXPECT_THROW(
+      run_sweep_cpm_on_cliques(complete_graph(3), {{2, 0, 1}}, {}), Error);
+}
+
+// ------------------------------------------------------- engine facade
+
+TEST(CpmEngine, SweepAndPerKDispatchAgree) {
+  const Graph g = random_graph(50, 0.3, 5);
+  cpm::Options options;
+  options.engine = cpm::EngineKind::kSweep;
+  const cpm::Result sweep = cpm::Engine(options).run(g);
+  options.engine = cpm::EngineKind::kPerK;
+  const cpm::Result per_k = cpm::Engine(options).run(g);
+
+  expect_same_cpm(per_k.cpm, sweep.cpm, "engine dispatch");
+  ASSERT_TRUE(sweep.has_tree);
+  ASSERT_TRUE(per_k.has_tree);
+  EXPECT_EQ(sweep.tree.nodes().size(), per_k.tree.nodes().size());
+  EXPECT_EQ(sweep.engine, cpm::EngineKind::kSweep);
+  EXPECT_EQ(per_k.engine, cpm::EngineKind::kPerK);
+  EXPECT_GT(sweep.timings.total_seconds, 0.0);
+  EXPECT_GT(sweep.timings.cliques_seconds, 0.0);
+  EXPECT_GT(sweep.timings.percolate_seconds, 0.0);
+}
+
+TEST(CpmEngine, ReferenceEngineAgreesOnNodeSets) {
+  const Graph g = overlapping_cliques(5, 5, 3);
+  cpm::Options options;
+  options.engine = cpm::EngineKind::kReference;
+  const cpm::Result ref = cpm::Engine(options).run(g);
+  options.engine = cpm::EngineKind::kSweep;
+  const cpm::Result sweep = cpm::Engine(options).run(g);
+
+  ASSERT_EQ(ref.cpm.min_k, sweep.cpm.min_k);
+  ASSERT_EQ(ref.cpm.max_k, sweep.cpm.max_k);
+  for (std::size_t k = ref.cpm.min_k; k <= ref.cpm.max_k; ++k) {
+    ASSERT_EQ(ref.cpm.at(k).count(), sweep.cpm.at(k).count()) << "k=" << k;
+    for (CommunityId id = 0; id < ref.cpm.at(k).count(); ++id) {
+      EXPECT_EQ(ref.cpm.at(k).communities[id].nodes,
+                sweep.cpm.at(k).communities[id].nodes)
+          << "k=" << k;
+    }
+  }
+  // The reference result carries no clique ids; its tree comes from the
+  // containment fallback and must still nest correctly.
+  ASSERT_TRUE(ref.has_tree);
+  expect_nesting(ref.cpm, ref.tree, "reference tree");
+}
+
+TEST(CpmEngine, ReferenceEngineRejectsPreEnumeratedCliques) {
+  cpm::Options options;
+  options.engine = cpm::EngineKind::kReference;
+  EXPECT_THROW(
+      cpm::Engine(options).run_on_cliques(complete_graph(4), {{0, 1, 2, 3}}),
+      Error);
+}
+
+TEST(CpmEngine, BuildTreeCanBeDisabled) {
+  cpm::Options options;
+  options.build_tree = false;
+  const cpm::Result result = cpm::Engine(options).run(complete_graph(6));
+  EXPECT_FALSE(result.has_tree);
+  EXPECT_EQ(result.cpm.max_k, 6u);
+}
+
+TEST(CpmEngine, WeightedRunFiltersAndNeverBuildsATree) {
+  const Graph g = overlapping_cliques(4, 4, 2);
+  // All edge weights 1 except a heavy triangle {0, 1, 2}.
+  std::vector<double> per_edge;
+  for (const auto& [u, v] : g.edges()) {
+    per_edge.push_back(u <= 2 && v <= 2 ? 4.0 : 1.0);
+  }
+  const EdgeWeights weights(g, std::move(per_edge));
+
+  cpm::Options options;
+  options.min_k = 3;
+  options.max_k = 3;
+  options.intensity_threshold = 2.0;
+  const cpm::Result result = cpm::Engine(options).run_weighted(g, weights);
+  EXPECT_FALSE(result.has_tree);
+  ASSERT_TRUE(result.cpm.has_k(3));
+  ASSERT_EQ(result.cpm.at(3).count(), 1u);
+  EXPECT_EQ(result.cpm.at(3).communities[0].nodes, (NodeSet{0, 1, 2}));
+}
+
+TEST(CpmEngine, ValidatesOptions) {
+  cpm::Options options;
+  options.min_k = 1;
+  EXPECT_THROW(cpm::Engine{options}, Error);
+  options.min_k = 2;
+  options.min_clique_size = 1;
+  EXPECT_THROW(cpm::Engine{options}, Error);
+}
+
+TEST(CpmEngine, ParsesEngineNames) {
+  EXPECT_EQ(cpm::parse_engine("sweep"), cpm::EngineKind::kSweep);
+  EXPECT_EQ(cpm::parse_engine("per_k"), cpm::EngineKind::kPerK);
+  EXPECT_EQ(cpm::parse_engine("reference"), cpm::EngineKind::kReference);
+  EXPECT_THROW(cpm::parse_engine("bogus"), Error);
+  EXPECT_STREQ(cpm::engine_name(cpm::EngineKind::kSweep), "sweep");
+  EXPECT_STREQ(cpm::engine_name(cpm::EngineKind::kPerK), "per_k");
+  EXPECT_STREQ(cpm::engine_name(cpm::EngineKind::kReference), "reference");
+}
+
+TEST(CpmEngine, OptionsFromCliAppliesSharedFlags) {
+  const char* argv[] = {"prog", "--k-min=3", "--k-max=7", "--engine=per_k",
+                        "--threads=2"};
+  const CliArgs args(5, argv, cpm::engine_cli_flags());
+  const cpm::Options options = cpm::options_from_cli(args);
+  EXPECT_EQ(options.min_k, 3u);
+  EXPECT_EQ(options.max_k, 7u);
+  EXPECT_EQ(options.threads, 2u);
+  EXPECT_EQ(options.engine, cpm::EngineKind::kPerK);
+
+  // Defaults pass through untouched when no flag is given.
+  const char* bare[] = {"prog"};
+  cpm::Options defaults;
+  defaults.min_k = 4;
+  const cpm::Options kept =
+      cpm::options_from_cli(CliArgs(1, bare, cpm::engine_cli_flags()),
+                            defaults);
+  EXPECT_EQ(kept.min_k, 4u);
+  EXPECT_EQ(kept.engine, cpm::EngineKind::kSweep);
+}
+
+}  // namespace
+}  // namespace kcc

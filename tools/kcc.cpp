@@ -4,11 +4,13 @@
 //   kcc generate --out-dir=DIR [--scale=test|bench|paper] [--seed=N]
 //       Generate a synthetic AS ecosystem and write topology.txt, ixps.txt,
 //       countries.txt, geo.txt into DIR.
-//   kcc cpm --edges=FILE [--min-k=2] [--max-k=0] [--threads=0] [--out=FILE]
+//   kcc cpm --edges=FILE [--k-min=2] [--k-max=0] [--engine=sweep]
+//       [--threads=0] [--out=FILE]
 //       Extract k-clique communities from an edge list; print a summary and
 //       optionally save the result (io/result_io format).
 //   kcc tree --edges=FILE [--dot=FILE] [--min-k-shown=6]
-//       Build and print the community tree; optionally export DOT.
+//       Build and print the community tree (emitted by the sweep engine in
+//       the same pass as the communities); optionally export DOT.
 //   kcc analyze --edges=FILE --ixps=FILE --countries=FILE --geo=FILE
 //       Full paper analysis over on-disk datasets.
 //   kcc info --edges=FILE
@@ -25,7 +27,7 @@
 #include "common/table.h"
 #include "common/timer.h"
 #include "cpm/community_tree.h"
-#include "cpm/cpm.h"
+#include "cpm/engine.h"
 #include "graph/clustering.h"
 #include "graph/degree_distribution.h"
 #include "graph/graph_algorithms.h"
@@ -43,11 +45,20 @@ int usage() {
   std::cerr <<
       "usage: kcc <command> [flags]\n"
       "  generate --out-dir=DIR [--scale=test|bench|paper] [--seed=N]\n"
-      "  cpm      --edges=FILE [--min-k=N] [--max-k=N] [--threads=N] [--out=FILE]\n"
-      "  tree     --edges=FILE [--dot=FILE] [--min-k-shown=N]\n"
+      "  cpm      --edges=FILE [--k-min=N] [--k-max=N] [--engine=ENGINE]\n"
+      "           [--threads=N] [--out=FILE]\n"
+      "  tree     --edges=FILE [--dot=FILE] [--min-k-shown=N] [--engine=ENGINE]\n"
       "  analyze  --edges=FILE --ixps=FILE --countries=FILE --geo=FILE\n"
-      "           [--threads=N]\n"
+      "           [--threads=N] [--engine=ENGINE]\n"
       "  info     --edges=FILE\n"
+      "\n"
+      "engine selection (cpm/tree/analyze):\n"
+      "  --engine=sweep|per_k|reference\n"
+      "           sweep (default) runs the single-pass community-tree\n"
+      "           engine; per_k is the original per-k percolation;\n"
+      "           reference is the literal definition (tiny graphs only)\n"
+      "  --k-min=N/--k-max=N bound the community order (aliases\n"
+      "           --min-k/--max-k are accepted for compatibility)\n"
       "\n"
       "observability flags (accepted by every command):\n"
       "  --log-level=off|error|warn|info|debug|trace\n"
@@ -69,6 +80,15 @@ SynthParams scale_params(const std::string& scale) {
   if (scale == "bench") return SynthParams::bench_scale();
   if (scale == "paper") return SynthParams::paper_scale();
   throw Error("unknown --scale '" + scale + "' (test|bench|paper)");
+}
+
+// Shared engine options for cpm/tree/analyze. The legacy spellings
+// --min-k/--max-k remain accepted; --k-min/--k-max win when both appear.
+cpm::Options cpm_options_from_args(const CliArgs& args) {
+  cpm::Options defaults;
+  defaults.min_k = static_cast<std::size_t>(args.get_int("min-k", 2));
+  defaults.max_k = static_cast<std::size_t>(args.get_int("max-k", 0));
+  return cpm::options_from_cli(args, defaults);
 }
 
 int cmd_generate(const CliArgs& args) {
@@ -105,19 +125,15 @@ int cmd_cpm(const CliArgs& args) {
   const std::string edges = args.get_string("edges", "");
   require(!edges.empty(), "cpm: --edges is required");
   const LabeledGraph g = read_edge_list_file(edges);
-  CpmOptions options;
-  options.min_k = static_cast<std::size_t>(args.get_int("min-k", 2));
-  options.max_k = static_cast<std::size_t>(args.get_int("max-k", 0));
-  options.threads = static_cast<std::size_t>(args.get_int("threads", 0));
-
-  Timer timer;
-  const CpmResult result = run_cpm(g.graph, options);
+  const cpm::Result run = cpm::Engine(cpm_options_from_args(args)).run(g.graph);
+  const CpmResult& result = run.cpm;
   std::cout << "Graph: " << g.graph.num_nodes() << " nodes, "
             << g.graph.num_edges() << " edges\n";
   std::cout << "Maximal cliques: " << result.cliques.size() << "\n";
   std::cout << "Communities: " << result.total_communities() << " over k in ["
             << result.min_k << ", " << result.max_k << "] ("
-            << fixed(timer.seconds(), 2) << " s)\n";
+            << cpm::engine_name(run.engine) << " engine, "
+            << fixed(run.timings.total_seconds, 2) << " s)\n";
   TextTable table({"k", "communities", "largest"});
   for (std::size_t k = result.min_k; k <= result.max_k; ++k) {
     std::size_t largest = 0;
@@ -139,8 +155,9 @@ int cmd_tree(const CliArgs& args) {
   const std::string edges = args.get_string("edges", "");
   require(!edges.empty(), "tree: --edges is required");
   const LabeledGraph g = read_edge_list_file(edges);
-  const CpmResult result = run_cpm(g.graph);
-  const CommunityTree tree = CommunityTree::build(result);
+  const cpm::Result run = cpm::Engine(cpm_options_from_args(args)).run(g.graph);
+  require(run.has_tree, "tree: the graph has no communities to arrange");
+  const CommunityTree& tree = run.tree;
   std::cout << "Community tree: " << tree.nodes().size() << " communities ("
             << tree.main_count() << " main, " << tree.parallel_count()
             << " parallel), k in [" << tree.min_k() << ", " << tree.max_k()
@@ -171,9 +188,8 @@ int cmd_analyze(const CliArgs& args) {
                                    args.get_string("geo", ""), eco.topology);
   eco.roles.assign(eco.topology.graph.num_nodes(), AsRole::kStub);
 
-  CpmOptions cpm;
-  cpm.threads = static_cast<std::size_t>(args.get_int("threads", 0));
-  const PipelineResult result = analyze_ecosystem(std::move(eco), cpm);
+  const PipelineResult result =
+      analyze_ecosystem(std::move(eco), cpm_options_from_args(args));
   print_ecosystem_summary(std::cout, result.eco);
   std::cout << "\n";
   print_level_table(std::cout, result);
@@ -220,11 +236,14 @@ int main(int argc, char** argv) {
     const std::string command = argv[1];
     // CliArgs rejects flags outside this list, so typos (--thread=8) fail
     // loudly instead of silently running with defaults.
-    const CliArgs args(argc - 1, argv + 1,
-                       {"out-dir", "scale", "seed", "edges", "min-k", "max-k",
-                        "threads", "out", "dot", "min-k-shown", "ixps",
-                        "countries", "geo", "log-level", "trace-out",
-                        "metrics-out"});
+    std::vector<std::string> known{
+        "out-dir", "scale", "seed", "edges", "min-k", "max-k", "out", "dot",
+        "min-k-shown", "ixps", "countries", "geo", "log-level", "trace-out",
+        "metrics-out"};
+    for (const std::string& flag : cpm::engine_cli_flags()) {
+      known.push_back(flag);
+    }
+    const CliArgs args(argc - 1, argv + 1, known);
     obs::ObsOptions obs_options;
     obs_options.log_level = args.get_string("log-level", "");
     obs_options.trace_out = args.get_string("trace-out", "");
