@@ -2,12 +2,26 @@
 //
 // Ablations from DESIGN.md: sequential vs parallel enumeration, and the
 // inverted-index overlap computation vs the all-pairs scan.
+//
+// Special mode:
+//   perf_cliques --bench-json[=FILE]
+// times the three enumerators (sequential, parallel, streaming) on the
+// test-scale ecosystem graph, checks they produce the same clique list, and
+// writes the machine-readable BENCH_cliques.json snapshot (schema in
+// docs/FORMATS.md) instead of running the registered benchmarks.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "bench_json.h"
 #include "clique/bron_kerbosch.h"
+#include "clique/clique_stream.h"
 #include "clique/parallel_cliques.h"
 #include "common/rng.h"
 #include "common/set_ops.h"
+#include "common/timer.h"
 #include "cpm/clique_index.h"
 #include "synth/as_topology.h"
 
@@ -104,6 +118,101 @@ void BM_OverlapIndex_AllPairs(benchmark::State& state) {
 }
 BENCHMARK(BM_OverlapIndex_AllPairs)->Unit(benchmark::kMillisecond);
 
+// --------------------------------------------------------- --bench-json
+
+int bench_json(const std::string& json_path) {
+  const Graph& g = ecosystem_graph();
+  constexpr int kRounds = 3;
+
+  struct Entry {
+    const char* enumerator;
+    double best_ms = 1e100;
+    std::size_t cliques = 0;
+  };
+  Entry entries[] = {{"sequential"}, {"parallel"}, {"stream"}};
+
+  std::vector<NodeSet> expected;
+  for (int round = 0; round < kRounds; ++round) {
+    {
+      Timer t;
+      auto cliques = maximal_cliques(g, 2);
+      entries[0].best_ms = std::min(entries[0].best_ms, t.seconds() * 1e3);
+      entries[0].cliques = cliques.size();
+      if (round == 0) expected = std::move(cliques);
+    }
+    {
+      ThreadPool pool(0);
+      Timer t;
+      auto cliques = parallel_maximal_cliques(g, pool, 2);
+      entries[1].best_ms = std::min(entries[1].best_ms, t.seconds() * 1e3);
+      entries[1].cliques = cliques.size();
+      if (cliques != expected) {
+        std::cerr << "bench-json: FAIL — parallel enumeration differs\n";
+        return 1;
+      }
+    }
+    {
+      ThreadPool pool(0);
+      CliqueStreamOptions options;
+      options.min_size = 2;
+      std::vector<NodeSet> cliques;
+      Timer t;
+      stream_maximal_cliques(g, pool, options, [&](NodeSet&& c) {
+        cliques.push_back(std::move(c));
+      });
+      entries[2].best_ms = std::min(entries[2].best_ms, t.seconds() * 1e3);
+      entries[2].cliques = cliques.size();
+      if (cliques != expected) {
+        std::cerr << "bench-json: FAIL — streaming enumeration differs\n";
+        return 1;
+      }
+    }
+  }
+
+  std::vector<bench::Json> runs;
+  for (const Entry& entry : entries) {
+    bench::Json run;
+    run.add("enumerator", entry.enumerator);
+    run.add("wall_ms", entry.best_ms);
+    run.add("cliques", entry.cliques);
+    runs.push_back(std::move(run));
+    std::cout << "bench-json: " << entry.enumerator << " "
+              << entry.best_ms << " ms, " << entry.cliques << " cliques\n";
+  }
+  bench::Json graph;
+  graph.add("scale", "test");
+  graph.add("nodes", g.num_nodes());
+  graph.add("edges", g.num_edges());
+  bench::Json doc;
+  doc.add("bench", "perf_cliques --bench-json");
+  doc.add("rounds", static_cast<std::uint64_t>(kRounds));
+  doc.add("graph", graph);
+  doc.add_array("runs", runs);
+
+  std::ofstream out(json_path);
+  if (!out.good()) {
+    std::cerr << "bench-json: cannot write " << json_path << "\n";
+    return 1;
+  }
+  out << doc.str() << "\n";
+  std::cout << "bench-json: wrote " << json_path << "\n";
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--bench-json") == 0) {
+      return bench_json("BENCH_cliques.json");
+    }
+    if (std::strncmp(argv[i], "--bench-json=", 13) == 0) {
+      return bench_json(argv[i] + 13);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

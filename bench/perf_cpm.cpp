@@ -6,17 +6,28 @@
 // k-clique-graph construction (reference CPM) at small scale, and the
 // single-sweep engine vs the per-k rescan for all-k extraction.
 //
-// Special mode (used by the `perf_cpm_verify_sweep` ctest):
+// Special modes (used by the perf_cpm_* ctests):
 //   perf_cpm --verify-sweep
 // runs both engines on the default synthetic graph, checks the sweep output
 // is identical to the per-k oracle for every k (communities, clique ids and
 // the nesting tree), prints the all-k extraction speedup, and exits without
 // running the registered benchmarks.
+//   perf_cpm --verify-stream [--json=FILE]
+// runs per_k, sweep and the streaming engine (unbudgeted and under a 1 MiB
+// budget that forces spilling) each in its own forked child, compares an FNV-1a digest of the
+// full structural output (gate: all four must agree), measures per-engine
+// wall time and peak-RSS growth, and writes the machine-readable
+// BENCH_cpm.json snapshot (schema in docs/FORMATS.md).
 #include <benchmark/benchmark.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
+#include "bench_json.h"
 #include "clique/parallel_cliques.h"
 #include "common/rng.h"
 #include "common/table.h"
@@ -24,7 +35,9 @@
 #include "common/timer.h"
 #include "cpm/engine.h"
 #include "cpm/reference_cpm.h"
+#include "cpm/stream_cpm.h"
 #include "cpm/sweep_cpm.h"
+#include "obs/metrics.h"
 #include "synth/as_topology.h"
 
 namespace {
@@ -237,12 +250,271 @@ int verify_sweep() {
   return 0;
 }
 
+// -------------------------------------------------------- --verify-stream
+
+// FNV-1a over the full structural output, so engine-identity across process
+// boundaries reduces to one integer comparison.
+class Fnv {
+ public:
+  void mix(std::uint64_t x) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash_ = (hash_ ^ (x & 0xff)) * 1099511628211ull;
+      x >>= 8;
+    }
+  }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 1469598103934665603ull;
+};
+
+std::uint64_t digest_result(const CpmResult& cpm, const CommunityTree& tree) {
+  Fnv fnv;
+  fnv.mix(cpm.min_k);
+  fnv.mix(cpm.max_k);
+  fnv.mix(cpm.cliques.size());
+  for (const NodeSet& clique : cpm.cliques) {
+    fnv.mix(clique.size());
+    for (NodeId v : clique) fnv.mix(v);
+  }
+  for (const CommunitySet& set : cpm.by_k) {
+    fnv.mix(set.k);
+    fnv.mix(set.count());
+    for (const Community& c : set.communities) {
+      fnv.mix(c.nodes.size());
+      for (NodeId v : c.nodes) fnv.mix(v);
+      fnv.mix(c.clique_ids.size());
+      for (CliqueId id : c.clique_ids) fnv.mix(id);
+    }
+    for (std::uint32_t id : set.community_of_clique) fnv.mix(id);
+  }
+  fnv.mix(tree.nodes().size());
+  for (const TreeNode& node : tree.nodes()) {
+    fnv.mix(node.k);
+    fnv.mix(node.community_id);
+    fnv.mix(node.size);
+    fnv.mix(static_cast<std::uint64_t>(node.parent + 1));
+    fnv.mix(node.is_main ? 1 : 0);
+  }
+  return fnv.value();
+}
+
+// One engine configuration of the verify-stream comparison.
+struct EngineRun {
+  const char* name;
+  cpm::EngineKind kind;
+  std::uint64_t memory_budget = 0;  // stream only
+};
+
+// Everything a measurement child reports back through its pipe.
+struct ChildReport {
+  bool ok = false;
+  double wall_ms = 0.0;
+  std::uint64_t peak_rss_delta = 0;  // VmHWM growth during the run
+  std::uint64_t digest = 0;
+  std::uint64_t communities = 0;
+  std::uint64_t pairs_total = 0;    // stream only, else 0
+  std::uint64_t spilled_pairs = 0;  // stream only, else 0
+};
+
+// Runs one engine end to end (enumeration included) in a forked child and
+// reports wall/peak/digest through a pipe. A fresh process per run is the
+// only way to compare peak RSS: VmHWM is monotonic per process, so
+// in-process back-to-back runs would all inherit the first run's peak.
+// The child measures its own VmHWM right after fork as the baseline (the
+// parent's already-resident graph is shared copy-on-write), so the delta
+// isolates what the engine itself allocated.
+ChildReport run_engine_in_child(const Graph& g, const EngineRun& config) {
+  int fds[2];
+  ChildReport report;
+  if (pipe(fds) != 0) return report;
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    return report;
+  }
+  if (pid == 0) {
+    close(fds[0]);
+    const std::uint64_t baseline = obs::peak_rss_bytes();
+    Timer t;
+    std::uint64_t digest = 0;
+    std::uint64_t communities = 0;
+    std::uint64_t pairs_total = 0;
+    std::uint64_t spilled_pairs = 0;
+    if (config.kind == cpm::EngineKind::kStream) {
+      StreamCpmOptions options;
+      options.memory_budget = config.memory_budget;
+      const StreamCpmResult result = run_stream_cpm(g, options);
+      digest = digest_result(result.cpm, result.tree);
+      communities = result.cpm.total_communities();
+      pairs_total = result.stats.pairs_total;
+      spilled_pairs = result.stats.spilled_pairs;
+    } else if (config.kind == cpm::EngineKind::kSweep) {
+      const SweepCpmResult result = run_sweep_cpm(g, {});
+      digest = digest_result(result.cpm, result.tree);
+      communities = result.cpm.total_communities();
+    } else {
+      const CpmResult result = run_cpm(g, {});
+      digest = digest_result(result, CommunityTree::build(result));
+      communities = result.total_communities();
+    }
+    const double wall_ms = t.seconds() * 1e3;
+    const std::uint64_t peak_delta = obs::peak_rss_bytes() - baseline;
+    std::ostringstream line;
+    line << wall_ms << " " << peak_delta << " " << digest << " "
+         << communities << " " << pairs_total << " " << spilled_pairs << "\n";
+    const std::string text = line.str();
+    const ssize_t written = write(fds[1], text.data(), text.size());
+    close(fds[1]);
+    _exit(written == static_cast<ssize_t>(text.size()) ? 0 : 1);
+  }
+  close(fds[1]);
+  std::string text;
+  char buf[256];
+  ssize_t n;
+  while ((n = read(fds[0], buf, sizeof(buf))) > 0) text.append(buf, n);
+  close(fds[0]);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) return report;
+  std::istringstream fields(text);
+  fields >> report.wall_ms >> report.peak_rss_delta >> report.digest >>
+      report.communities >> report.pairs_total >> report.spilled_pairs;
+  report.ok = !fields.fail();
+  return report;
+}
+
+// Compares per_k / sweep / stream / stream-under-budget end to end: digest
+// identity gates the exit code; wall and peak-RSS numbers are printed and
+// written to `json_path`. Timing/memory never fail the check (CI machines
+// are noisy) — the committed snapshot is what documents the expectation.
+int verify_stream(const std::string& json_path) {
+  // Small enough that the bench graph's overlap pairs overflow it and the
+  // spill path is actually exercised (resident pairs stay under ~1 MiB).
+  const std::uint64_t budget = 1024 * 1024;
+  const Graph& g = bench_graph();
+  std::cout << "verify-stream: " << g.num_nodes() << " nodes, "
+            << g.num_edges() << " edges\n";
+
+  const EngineRun configs[] = {
+      {"per_k", cpm::EngineKind::kPerK, 0},
+      {"sweep", cpm::EngineKind::kSweep, 0},
+      {"stream", cpm::EngineKind::kStream, 0},
+      {"stream", cpm::EngineKind::kStream, budget},
+  };
+  constexpr int kRounds = 2;
+  ChildReport best[4];
+  for (int i = 0; i < 4; ++i) {
+    for (int round = 0; round < kRounds; ++round) {
+      const ChildReport report = run_engine_in_child(g, configs[i]);
+      if (!report.ok) {
+        std::cerr << "verify-stream: FAIL — " << configs[i].name
+                  << " child did not report\n";
+        return 1;
+      }
+      if (round == 0) {
+        best[i] = report;
+      } else {  // digest/communities are identical across rounds
+        best[i].wall_ms = std::min(best[i].wall_ms, report.wall_ms);
+        best[i].peak_rss_delta =
+            std::min(best[i].peak_rss_delta, report.peak_rss_delta);
+      }
+    }
+    std::cout << "verify-stream: " << configs[i].name;
+    if (configs[i].memory_budget > 0) {
+      std::cout << " (budget " << configs[i].memory_budget / (1024 * 1024)
+                << "M, " << best[i].spilled_pairs << " pairs spilled)";
+    }
+    std::cout << ": " << fixed(best[i].wall_ms, 2) << " ms, peak +"
+              << best[i].peak_rss_delta / (1024 * 1024) << " MiB, "
+              << best[i].communities << " communities\n";
+  }
+
+  for (int i = 1; i < 4; ++i) {
+    if (best[i].digest != best[0].digest) {
+      std::cerr << "verify-stream: FAIL — " << configs[i].name
+                << (configs[i].memory_budget ? " (budgeted)" : "")
+                << " output digest differs from the per-k oracle\n";
+      return 1;
+    }
+  }
+  if (best[3].spilled_pairs == 0) {
+    std::cerr << "verify-stream: FAIL — the budgeted run never spilled; the "
+                 "budget is not exercising the spill path at this scale\n";
+    return 1;
+  }
+
+  const double peak_ratio = best[2].peak_rss_delta == 0
+                                ? 0.0
+                                : static_cast<double>(best[1].peak_rss_delta) /
+                                      static_cast<double>(best[2].peak_rss_delta);
+  const double wall_ratio = best[1].wall_ms == 0.0
+                                ? 0.0
+                                : best[2].wall_ms / best[1].wall_ms;
+  std::cout << "verify-stream: OK — identical digests across all engines\n";
+  std::cout << "verify-stream: stream peak is " << fixed(peak_ratio, 2)
+            << "x below sweep; stream wall is " << fixed(wall_ratio, 2)
+            << "x sweep\n";
+
+  std::vector<bench::Json> runs;
+  for (int i = 0; i < 4; ++i) {
+    bench::Json run;
+    run.add("engine", configs[i].name);
+    if (configs[i].kind == cpm::EngineKind::kStream) {
+      run.add("memory_budget_bytes", configs[i].memory_budget);
+    }
+    run.add("wall_ms", best[i].wall_ms);
+    run.add("peak_rss_delta_bytes", best[i].peak_rss_delta);
+    run.add("communities", best[i].communities);
+    char digest[32];
+    std::snprintf(digest, sizeof(digest), "%016llx",
+                  static_cast<unsigned long long>(best[i].digest));
+    run.add("digest", digest);
+    if (configs[i].kind == cpm::EngineKind::kStream) {
+      run.add("pairs_total", best[i].pairs_total);
+      run.add("spilled_pairs", best[i].spilled_pairs);
+    }
+    runs.push_back(std::move(run));
+  }
+  bench::Json graph;
+  graph.add("scale", "bench");
+  graph.add("nodes", g.num_nodes());
+  graph.add("edges", g.num_edges());
+  bench::Json derived;
+  derived.add("sweep_over_stream_peak_ratio", peak_ratio);
+  derived.add("stream_over_sweep_wall_ratio", wall_ratio);
+  bench::Json doc;
+  doc.add("bench", "perf_cpm --verify-stream");
+  doc.add("rounds", static_cast<std::uint64_t>(kRounds));
+  doc.add("graph", graph);
+  doc.add_array("runs", runs);
+  doc.add("derived", derived);
+
+  std::ofstream out(json_path);
+  if (!out.good()) {
+    std::cerr << "verify-stream: cannot write " << json_path << "\n";
+    return 1;
+  }
+  out << doc.str() << "\n";
+  std::cout << "verify-stream: wrote " << json_path << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool verify_stream_mode = false;
+  std::string json_path = "BENCH_cpm.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--verify-sweep") == 0) return verify_sweep();
+    if (std::strcmp(argv[i], "--verify-stream") == 0) {
+      verify_stream_mode = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    }
   }
+  if (verify_stream_mode) return verify_stream(json_path);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

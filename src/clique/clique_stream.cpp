@@ -1,0 +1,101 @@
+#include "clique/clique_stream.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "clique/bron_kerbosch_internal.h"
+#include "common/error.h"
+#include "graph/degeneracy.h"
+#include "obs/log.h"
+#include "obs/trace.h"
+
+namespace kcc {
+namespace {
+
+// One window's enumeration state: a contiguous range of degeneracy
+// positions and their per-position result slots. Tasks never share slots,
+// so the window needs no locking and its drain order is
+// scheduling-independent.
+struct Window {
+  std::size_t first = 0;                   // first degeneracy position
+  std::vector<std::vector<NodeSet>> slots;  // one per position in range
+};
+
+void launch_window(const Graph& g, const DegeneracyResult& deg,
+                   std::size_t min_size, std::size_t first, std::size_t last,
+                   Window& window, TaskGroup& group) {
+  window.first = first;
+  window.slots.assign(last - first, {});
+  // Chunked submission: a handful of jobs per worker keeps load balanced
+  // without paying one std::function per vertex subproblem.
+  const std::size_t count = last - first;
+  const std::size_t num_jobs =
+      std::min(count, std::max<std::size_t>(group.pool().thread_count() * 4, 1));
+  const std::size_t chunk = (count + num_jobs - 1) / num_jobs;
+  for (std::size_t j = 0; j < num_jobs; ++j) {
+    const std::size_t lo = first + j * chunk;
+    const std::size_t hi = std::min(last, lo + chunk);
+    if (lo >= hi) break;
+    group.run([&g, &deg, min_size, lo, hi, &window] {
+      for (std::size_t pos = lo; pos < hi; ++pos) {
+        auto& slot = window.slots[pos - window.first];
+        enumerate_vertex_subproblem(
+            g, deg, deg.order[pos],
+            [&](const NodeSet& clique) {
+              NodeSet sorted = clique;
+              std::sort(sorted.begin(), sorted.end());
+              slot.push_back(std::move(sorted));
+            },
+            min_size);
+      }
+    });
+  }
+}
+
+}  // namespace
+
+std::size_t stream_maximal_cliques(const Graph& g, ThreadPool& pool,
+                                   const CliqueStreamOptions& options,
+                                   const StreamCliqueVisitor& visit,
+                                   const StreamWindowVisitor& window_done) {
+  require(options.min_size >= 1,
+          "stream_maximal_cliques: min_size must be >= 1");
+  KCC_SPAN("clique/stream_enumerate");
+  const DegeneracyResult deg = degeneracy_order(g);
+  const std::size_t n = g.num_nodes();
+  std::size_t window = options.window_positions;
+  if (window == 0) {
+    // Enough positions that every worker gets several chunks per window,
+    // small enough that two windows of slots stay a modest fraction of the
+    // full clique table on large graphs.
+    window = std::clamp<std::size_t>(pool.thread_count() * 256, 1024, 16384);
+  }
+  const std::size_t num_windows = n == 0 ? 0 : (n + window - 1) / window;
+
+  Window buffers[2];
+  TaskGroup groups[2] = {TaskGroup(pool), TaskGroup(pool)};
+  auto launch = [&](std::size_t w) {
+    const std::size_t first = w * window;
+    launch_window(g, deg, options.min_size, first, std::min(n, first + window),
+                  buffers[w % 2], groups[w % 2]);
+  };
+
+  if (num_windows > 0) launch(0);
+  for (std::size_t w = 0; w < num_windows; ++w) {
+    if (w + 1 < num_windows) launch(w + 1);  // enumerate ahead
+    groups[w % 2].wait();
+    Window& current = buffers[w % 2];
+    for (auto& slot : current.slots) {
+      for (auto& clique : slot) visit(std::move(clique));
+    }
+    current.slots.clear();
+    current.slots.shrink_to_fit();
+    if (window_done) window_done(w + 1);
+  }
+  KCC_LOG(kDebug) << "stream_maximal_cliques: " << n << " subproblems in "
+                  << num_windows << " windows of " << window << " on "
+                  << pool.thread_count() << " threads";
+  return num_windows;
+}
+
+}  // namespace kcc

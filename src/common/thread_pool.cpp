@@ -94,6 +94,23 @@ void ThreadPool::worker_loop() {
   }
 }
 
+void TaskGroup::run(std::function<void()> job) {
+  {
+    std::lock_guard lock(mutex_);
+    ++pending_;
+  }
+  pool_.submit([this, job = std::move(job)] {
+    job();
+    std::lock_guard lock(mutex_);
+    if (--pending_ == 0) done_.notify_all();
+  });
+}
+
+void TaskGroup::wait() {
+  std::unique_lock lock(mutex_);
+  done_.wait(lock, [this] { return pending_ == 0; });
+}
+
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;

@@ -51,6 +51,36 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
+/// Tracks a subset of jobs submitted to a pool so a caller can wait for
+/// *its* jobs only. ThreadPool::wait_idle() drains the whole queue, which
+/// serialises pipelines that keep more than one batch in flight (the
+/// streaming CPM engine enumerates window w+1 while window w is being
+/// joined); a TaskGroup waits for exactly the jobs routed through it.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+
+  /// Waits for outstanding jobs before destruction.
+  ~TaskGroup() { wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Submits `job` to the pool and tracks it. Jobs must not throw.
+  void run(std::function<void()> job);
+
+  /// Blocks until every job submitted through this group has finished.
+  void wait();
+
+  ThreadPool& pool() const { return pool_; }
+
+ private:
+  ThreadPool& pool_;
+  std::mutex mutex_;
+  std::condition_variable done_;
+  std::size_t pending_ = 0;
+};
+
 /// Runs fn(i) for i in [0, count) across `pool`, blocking until all
 /// iterations complete. Iterations are distributed in contiguous chunks to
 /// keep per-job overhead low; `fn` must be safe to call concurrently.

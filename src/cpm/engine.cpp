@@ -8,6 +8,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "cpm/reference_cpm.h"
+#include "cpm/stream_cpm.h"
 #include "cpm/sweep_cpm.h"
 #include "cpm/weighted_cpm.h"
 #include "obs/trace.h"
@@ -62,12 +63,25 @@ CpmResult collect_per_k(const Options& options, Fn&& communities_at) {
   return result_from_node_sets(options.min_k, std::move(by_k));
 }
 
+StreamCpmOptions stream_options(const Options& options) {
+  StreamCpmOptions stream;
+  stream.min_k = options.min_k;
+  stream.max_k = options.max_k;
+  stream.min_clique_size = options.min_clique_size;
+  stream.threads = options.threads;
+  stream.memory_budget = options.memory_budget;
+  stream.spill_dir = options.spill_dir;
+  return stream;
+}
+
 }  // namespace
 
 const char* engine_name(EngineKind kind) {
   switch (kind) {
     case EngineKind::kSweep:
       return "sweep";
+    case EngineKind::kStream:
+      return "stream";
     case EngineKind::kPerK:
       return "per_k";
     case EngineKind::kReference:
@@ -78,9 +92,10 @@ const char* engine_name(EngineKind kind) {
 
 EngineKind parse_engine(const std::string& name) {
   if (name == "sweep") return EngineKind::kSweep;
+  if (name == "stream") return EngineKind::kStream;
   if (name == "per_k") return EngineKind::kPerK;
   if (name == "reference") return EngineKind::kReference;
-  throw Error("unknown engine '" + name + "' (sweep|per_k|reference)");
+  throw Error("unknown engine '" + name + "' (sweep|stream|per_k|reference)");
 }
 
 CpmOptions Options::cpm_options() const {
@@ -111,6 +126,25 @@ Result Engine::run(const Graph& g) const {
       result.tree = CommunityTree::build(result.cpm);
       result.has_tree = true;
       result.timings.tree_seconds = total.lap();
+    }
+    result.timings.total_seconds = total.seconds();
+    return result;
+  }
+
+  if (options_.engine == EngineKind::kStream) {
+    // The streaming engine pipelines enumeration with the overlap join, so
+    // there is no separate clique stage to time: cliques_seconds stays 0
+    // and percolate_seconds covers the fused pass.
+    KCC_SPAN("cpm_engine/stream");
+    Timer total;
+    Result result;
+    result.engine = EngineKind::kStream;
+    StreamCpmResult stream = run_stream_cpm(g, stream_options(options_));
+    result.cpm = std::move(stream.cpm);
+    result.timings.percolate_seconds = total.lap();
+    if (options_.build_tree && result.cpm.max_k >= result.cpm.min_k) {
+      result.tree = std::move(stream.tree);
+      result.has_tree = true;
     }
     result.timings.total_seconds = total.seconds();
     return result;
@@ -149,6 +183,16 @@ Result Engine::run_on_cliques(const Graph& g,
       result.tree = std::move(sweep.tree);
       result.has_tree = true;
     }
+  } else if (options_.engine == EngineKind::kStream) {
+    KCC_SPAN("cpm_engine/stream");
+    StreamCpmResult stream = run_stream_cpm_on_cliques(
+        g, std::move(cliques), stream_options(options_));
+    result.cpm = std::move(stream.cpm);
+    result.timings.percolate_seconds = total.lap();
+    if (options_.build_tree && result.cpm.max_k >= result.cpm.min_k) {
+      result.tree = std::move(stream.tree);
+      result.has_tree = true;
+    }
   } else {
     KCC_SPAN("cpm_engine/per_k");
     result.cpm = run_cpm_on_cliques(g, std::move(cliques), legacy);
@@ -184,7 +228,7 @@ Result Engine::run_weighted(const Graph& g, const EdgeWeights& weights) const {
 
 const std::vector<std::string>& engine_cli_flags() {
   static const std::vector<std::string> flags{"k-min", "k-max", "engine",
-                                              "threads"};
+                                              "threads", "memory-budget"};
   return flags;
 }
 
@@ -198,6 +242,10 @@ Options options_from_cli(const CliArgs& args, Options defaults) {
       args.get_int("threads", static_cast<std::int64_t>(options.threads)));
   if (args.has("engine")) {
     options.engine = parse_engine(args.get_string("engine", "sweep"));
+  }
+  if (args.has("memory-budget")) {
+    options.memory_budget =
+        parse_memory_budget(args.get_string("memory-budget", "0"));
   }
   return options;
 }

@@ -6,7 +6,8 @@
 // weighted_k_clique_communities (CPMw intensity filtering). Each had its own
 // options and result shape, and none produced the community tree. The Engine
 // facade unifies them: one Options struct selects the k range, the clique
-// floor, the intensity threshold and the engine (sweep | per_k | reference);
+// floor, the intensity threshold and the engine
+// (sweep | stream | per_k | reference);
 // one Result carries communities-by-k, the nesting tree and per-stage
 // timings. The old free functions remain as thin compatibility wrappers —
 // new code should construct an Engine.
@@ -18,6 +19,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -32,15 +34,21 @@ namespace kcc::cpm {
 /// Which percolation implementation runs.
 ///  * kSweep — single descending-k union-find sweep over the sorted overlap
 ///    list; produces the community tree in the same pass (the default).
+///  * kStream — the same sweep, but cliques stream through a bounded
+///    windowed channel and overlap pairs are bucketed (and optionally
+///    spilled to disk under --memory-budget) instead of materialized as one
+///    global array; lowest peak memory, byte-identical output.
 ///  * kPerK — one independent percolation per k over the shared overlap
 ///    list (the original LP-CPM structure; kept as the reference oracle).
 ///  * kReference — the literal k-clique-graph definition; exponential, for
 ///    validation on small graphs only.
-enum class EngineKind { kSweep, kPerK, kReference };
+/// docs/ALGORITHMS.md compares the engines with measured numbers.
+enum class EngineKind { kSweep, kStream, kPerK, kReference };
 
 const char* engine_name(EngineKind kind);
 
-/// Parses "sweep" | "per_k" | "reference"; throws kcc::Error otherwise.
+/// Parses "sweep" | "stream" | "per_k" | "reference"; throws kcc::Error
+/// otherwise.
 EngineKind parse_engine(const std::string& name);
 
 struct Options {
@@ -59,6 +67,15 @@ struct Options {
   std::size_t threads = 0;
 
   EngineKind engine = EngineKind::kSweep;
+
+  /// Streaming engine only: cap on resident overlap-pair bytes; 0 means
+  /// unlimited. Non-zero budgets below stream_min_memory_budget() are
+  /// rejected. Other engines ignore it.
+  std::uint64_t memory_budget = 0;
+
+  /// Streaming engine only: directory for spill files (empty = system
+  /// temp directory).
+  std::string spill_dir;
 
   /// Weighted runs (Engine::run_weighted) keep only k-cliques whose
   /// intensity (geometric mean edge weight) reaches this threshold.
@@ -115,12 +132,13 @@ class Engine {
 };
 
 /// Flag names of the shared engine CLI surface (--k-min, --k-max, --engine,
-/// --threads); append these to a binary's known-flag list so unknown flags
-/// still fail loudly.
+/// --threads, --memory-budget); append these to a binary's known-flag list
+/// so unknown flags still fail loudly.
 const std::vector<std::string>& engine_cli_flags();
 
 /// Applies the shared engine flags on top of `defaults`:
-///   --k-min=N --k-max=N --engine=sweep|per_k|reference --threads=N
+///   --k-min=N --k-max=N --engine=sweep|stream|per_k|reference --threads=N
+///   --memory-budget=BYTES[K|M|G]
 Options options_from_cli(const CliArgs& args, Options defaults = {});
 
 }  // namespace kcc::cpm

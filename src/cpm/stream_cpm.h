@@ -1,0 +1,112 @@
+// Streaming single-sweep engine — bounded-memory clique percolation.
+//
+// Both existing engines materialize the *entire* transient state before the
+// first community exists: the per-k engine (cpm.h) and the sweep engine
+// (sweep_cpm.h) hold the full clique table AND the full overlap pair array
+// (12 bytes/pair, plus a second sorted copy inside the counting sort) at
+// their peak. On AS-scale graphs the pair array dwarfs everything else.
+//
+// This engine pipelines instead:
+//
+//  1. Maximal cliques arrive through clique/clique_stream.h — while the
+//     calling thread joins window w, the pool enumerates window w+1, so at
+//     most two windows of enumeration slots are ever resident.
+//  2. Each arriving clique is joined against a compact inverted node ->
+//     clique index of the cliques seen so far (same stamp-array counting
+//     join as clique_index.cpp, one clique at a time). Every overlap pair
+//     is born directly into the bucket of its overlap value as a packed
+//     8-byte {a, b} record: the buckets ARE the descending counting sort,
+//     so the sweep needs no separate sort pass and no second copy. Pairs
+//     with overlap below max(3, min_k) - 1 — which no sweep level would
+//     ever consume — are dropped at birth.
+//  3. When a --memory-budget is set and the resident pair bytes exceed it,
+//     whole buckets spill to temp files (largest first) and are streamed
+//     back one fixed-size chunk at a time while the sweep drains their
+//     level. The budget caps the pair store — the dominant transient — not
+//     the output itself (the clique table and communities are the result
+//     and must exist in full).
+//  4. The sweep is the same descending-k union-find as sweep_cpm.cpp and
+//     emits through the same cpm_detail::DescendingLevelEmitter, so the
+//     output (communities, ids, clique maps, tree) is byte-identical to
+//     the sweep and per-k engines by construction.
+//
+// docs/ALGORITHMS.md compares the three engines with measured numbers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpm/community_tree.h"
+#include "cpm/cpm.h"
+#include "graph/graph.h"
+
+namespace kcc {
+
+struct StreamCpmOptions {
+  /// Smallest community order to extract (>= 2).
+  std::size_t min_k = 2;
+
+  /// Largest community order; 0 means "up to the maximum clique size".
+  std::size_t max_k = 0;
+
+  /// Maximal cliques smaller than this are dropped at the source (>= 2).
+  std::size_t min_clique_size = 2;
+
+  /// Worker threads for enumeration; 0 means hardware concurrency.
+  std::size_t threads = 0;
+
+  /// Cap on resident overlap-pair bytes; 0 means unlimited (never spill).
+  /// Budgets in (0, stream_min_memory_budget()) are rejected loudly.
+  std::uint64_t memory_budget = 0;
+
+  /// Directory for spill files; empty means the system temp directory.
+  /// A per-run subdirectory is created on first spill and removed when the
+  /// run finishes.
+  std::string spill_dir;
+
+  /// Degeneracy positions per enumeration window; 0 picks a default.
+  std::size_t window_positions = 0;
+};
+
+/// Instrumentation snapshot of one streaming run (the same values are
+/// published as cpm_stream_* metrics; see docs/OBSERVABILITY.md).
+struct StreamCpmStats {
+  std::uint64_t windows = 0;             ///< enumeration windows processed
+  std::uint64_t pairs_total = 0;         ///< overlap pairs stored (post-prune)
+  std::uint64_t spilled_pairs = 0;       ///< pairs written to spill files
+  std::uint64_t spill_bytes = 0;         ///< bytes written to spill files
+  std::uint64_t resident_pair_bytes_peak = 0;  ///< peak resident pair bytes
+};
+
+struct StreamCpmResult {
+  CpmResult cpm;
+  CommunityTree tree;
+  StreamCpmStats stats;
+};
+
+/// Smallest accepted non-zero memory budget: the spill read-back chunk
+/// size. A budget below one chunk could not even stage a reload, so
+/// run_stream_cpm rejects it with kcc::Error instead of thrashing.
+std::uint64_t stream_min_memory_budget();
+
+/// Parses a byte count with an optional K/M/G (KiB/MiB/GiB) suffix:
+/// "65536", "64K", "200M", "1G". Case-insensitive. Throws kcc::Error on
+/// anything else. "0" means unlimited.
+std::uint64_t parse_memory_budget(const std::string& text);
+
+/// Extracts all k-clique communities and the community tree of `g`,
+/// streaming cliques through the bounded join. Output is byte-identical to
+/// run_sweep_cpm / run_cpm over the same graph.
+StreamCpmResult run_stream_cpm(const Graph& g,
+                               const StreamCpmOptions& options = {});
+
+/// Same over a pre-enumerated maximal-clique set (each clique sorted, size
+/// >= 2): cliques are fed through the identical incremental join — no
+/// enumeration windows, but the budget/spill machinery still applies.
+StreamCpmResult run_stream_cpm_on_cliques(const Graph& g,
+                                          std::vector<NodeSet> cliques,
+                                          const StreamCpmOptions& options = {});
+
+}  // namespace kcc

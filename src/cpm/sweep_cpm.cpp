@@ -4,7 +4,6 @@
 
 #include "clique/parallel_cliques.h"
 #include "common/error.h"
-#include "common/set_ops.h"
 #include "common/thread_pool.h"
 #include "common/union_find.h"
 #include "cpm/clique_index.h"
@@ -103,36 +102,7 @@ SweepCpmResult run_sweep_cpm_on_cliques(const Graph& g,
   for (const auto& c : result.cliques) max_size = std::max(max_size, c.size());
 
   result.by_k.resize(result.max_k - result.min_k + 1);
-  std::vector<std::vector<TreeParentLink>> tree_levels(result.by_k.size());
-
-  // Representative clique of each community at the previously emitted
-  // (next-higher) level, in canonical id order; resolving it against the
-  // current level's clique -> community map yields the nesting parent.
-  std::vector<CliqueId> reps_above;
-
-  // Records one finished level: canonical order, metrics, the parent ids of
-  // the level above, and this level's tree skeleton.
-  auto emit_level = [&](CommunitySet set) {
-    const std::size_t k = set.k;
-    cpm_detail::canonicalise(set, num_cliques);
-    cpm_detail::note_community_set(set);
-    if (k < result.max_k) {
-      auto& above = tree_levels[k + 1 - result.min_k];
-      for (std::size_t i = 0; i < reps_above.size(); ++i) {
-        above[i].parent_id = set.community_of_clique[reps_above[i]];
-        require(above[i].parent_id != CommunitySet::kNoCommunity,
-                "run_sweep_cpm: nesting parent missing");
-      }
-    }
-    auto& links = tree_levels[k - result.min_k];
-    links.resize(set.count());
-    reps_above.assign(set.count(), 0);
-    for (CommunityId id = 0; id < set.count(); ++id) {
-      links[id].size = set.communities[id].size();
-      reps_above[id] = set.communities[id].clique_ids.front();
-    }
-    result.by_k[k - result.min_k] = std::move(set);
-  };
+  cpm_detail::DescendingLevelEmitter emitter(g, result);
 
   // ---- the k >= 3 descending sweep ----
   if (result.max_k >= 3) {
@@ -163,12 +133,7 @@ SweepCpmResult run_sweep_cpm_on_cliques(const Graph& g,
     UnionFind uf(num_cliques);
     std::vector<CliqueId> live;  // cliques of size >= current level
     std::uint64_t join_ops = 0;
-
-    // Scratch root -> community slot map, epoch-stamped so each level's
-    // grouping pass is O(|live|) with no per-level clearing.
-    std::vector<std::uint32_t> stamp(num_cliques, 0);
-    std::vector<std::uint32_t> slot(num_cliques, 0);
-    std::uint32_t epoch = 0;
+    cpm_detail::SweepSnapshotter snapshotter(num_cliques);
 
     const std::size_t lowest = std::max<std::size_t>(3, result.min_k);
     for (std::size_t k = max_size; k >= lowest; --k) {
@@ -184,31 +149,7 @@ SweepCpmResult run_sweep_cpm_on_cliques(const Graph& g,
 
       // Snapshot: components over the live cliques are the communities at k.
       const obs::ScopedSpan span("sweep_cpm/emit_k=" + std::to_string(k));
-      CommunitySet set;
-      set.k = k;
-      ++epoch;
-      for (CliqueId c : live) {
-        const std::uint32_t root = uf.find(c);
-        if (stamp[root] != epoch) {
-          stamp[root] = epoch;
-          slot[root] = static_cast<std::uint32_t>(set.communities.size());
-          Community community;
-          community.k = k;
-          set.communities.push_back(std::move(community));
-        }
-        set.communities[slot[root]].clique_ids.push_back(c);
-      }
-      for (Community& community : set.communities) {
-        // Activation appends size-k batches, so live is not globally sorted.
-        std::sort(community.clique_ids.begin(), community.clique_ids.end());
-        for (CliqueId c : community.clique_ids) {
-          community.nodes.insert(community.nodes.end(),
-                                 result.cliques[c].begin(),
-                                 result.cliques[c].end());
-        }
-        sort_unique(community.nodes);
-      }
-      emit_level(std::move(set));
+      emitter.emit(snapshotter.snapshot(k, uf, live, result.cliques));
     }
     cpm_detail::note_join_ops(join_ops);
   }
@@ -216,25 +157,12 @@ SweepCpmResult run_sweep_cpm_on_cliques(const Graph& g,
   // ---- the k = 2 level: connected components ----
   if (result.min_k == 2) {
     KCC_SPAN("sweep_cpm/percolate_k2");
-    CommunitySet set = cpm_detail::percolate_k2(g, result.cliques);
-    cpm_detail::note_community_set(set);
-    if (result.max_k >= 3) {
-      auto& above = tree_levels[1];
-      for (std::size_t i = 0; i < reps_above.size(); ++i) {
-        above[i].parent_id = set.community_of_clique[reps_above[i]];
-      }
-    }
-    auto& links = tree_levels[0];
-    links.resize(set.count());
-    for (CommunityId id = 0; id < set.count(); ++id) {
-      links[id].size = set.communities[id].size();
-    }
-    result.by_k[0] = std::move(set);
+    emitter.emit_k2();
   }
 
   {
     KCC_SPAN("sweep_cpm/tree");
-    out.tree = CommunityTree::from_levels(result.min_k, tree_levels);
+    out.tree = emitter.finish();
   }
   return out;
 }

@@ -222,13 +222,17 @@ void MetricsRegistry::write_json(std::ostream& out) const {
   out << "}}";
 }
 
-std::uint64_t peak_rss_bytes() {
+namespace {
+
+// "VmHWM:" / "VmRSS:" lines of /proc/self/status, in bytes.
+std::uint64_t proc_status_bytes([[maybe_unused]] const char* field) {
 #if defined(__linux__)
   std::ifstream status("/proc/self/status");
   std::string line;
+  const std::string prefix = std::string(field) + ":";
   while (std::getline(status, line)) {
-    if (line.rfind("VmHWM:", 0) == 0) {
-      std::istringstream fields(line.substr(6));
+    if (line.rfind(prefix, 0) == 0) {
+      std::istringstream fields(line.substr(prefix.size()));
       std::uint64_t kib = 0;
       fields >> kib;
       return kib * 1024;
@@ -237,5 +241,11 @@ std::uint64_t peak_rss_bytes() {
 #endif
   return 0;
 }
+
+}  // namespace
+
+std::uint64_t peak_rss_bytes() { return proc_status_bytes("VmHWM"); }
+
+std::uint64_t current_rss_bytes() { return proc_status_bytes("VmRSS"); }
 
 }  // namespace kcc::obs

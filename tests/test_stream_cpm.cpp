@@ -1,0 +1,292 @@
+// The streaming engine against the per-k oracle: structural identity
+// (communities, ids, clique maps, tree) on the same graph/seed matrix the
+// sweep engine is held to, plus the stream-only surface — memory-budget
+// parsing, the budget/spill machinery, window-size independence and the
+// cpm::Engine dispatch.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "clique/parallel_cliques.h"
+#include "common/error.h"
+#include "common/thread_pool.h"
+#include "cpm/cpm.h"
+#include "cpm/engine.h"
+#include "cpm/stream_cpm.h"
+#include "cpm/sweep_cpm.h"
+#include "synth/as_topology.h"
+#include "test_helpers.h"
+
+namespace kcc {
+namespace {
+
+using testing::complete_graph;
+using testing::make_graph;
+using testing::overlapping_cliques;
+using testing::preferential_attachment_graph;
+using testing::random_graph;
+
+// Full structural equality, not just set equality: the stream engine
+// promises the same canonical order, ids, clique ids, clique table and
+// clique->community map as the per-k oracle.
+void expect_same_cpm(const CpmResult& oracle, const CpmResult& stream,
+                     const std::string& label) {
+  ASSERT_EQ(oracle.min_k, stream.min_k) << label;
+  ASSERT_EQ(oracle.max_k, stream.max_k) << label;
+  EXPECT_EQ(oracle.cliques, stream.cliques) << label;
+  for (std::size_t k = oracle.min_k; k <= oracle.max_k; ++k) {
+    const CommunitySet& a = oracle.at(k);
+    const CommunitySet& b = stream.at(k);
+    ASSERT_EQ(a.count(), b.count()) << label << " k=" << k;
+    for (CommunityId id = 0; id < a.count(); ++id) {
+      EXPECT_EQ(a.communities[id].nodes, b.communities[id].nodes)
+          << label << " k=" << k << " id=" << id;
+      EXPECT_EQ(a.communities[id].clique_ids, b.communities[id].clique_ids)
+          << label << " k=" << k << " id=" << id;
+      EXPECT_EQ(b.communities[id].id, id) << label << " k=" << k;
+      EXPECT_EQ(b.communities[id].k, k) << label << " k=" << k;
+    }
+    EXPECT_EQ(a.community_of_clique, b.community_of_clique)
+        << label << " k=" << k;
+  }
+}
+
+void expect_same_tree(const CommunityTree& sweep, const CommunityTree& stream,
+                      const std::string& label) {
+  ASSERT_EQ(sweep.nodes().size(), stream.nodes().size()) << label;
+  for (std::size_t i = 0; i < sweep.nodes().size(); ++i) {
+    const TreeNode& a = sweep.nodes()[i];
+    const TreeNode& b = stream.nodes()[i];
+    EXPECT_EQ(a.k, b.k) << label;
+    EXPECT_EQ(a.community_id, b.community_id) << label;
+    EXPECT_EQ(a.size, b.size) << label;
+    EXPECT_EQ(a.parent, b.parent) << label;
+    EXPECT_EQ(a.children, b.children) << label;
+    EXPECT_EQ(a.is_main, b.is_main) << label;
+  }
+}
+
+// Oracle identity + tree identity with the sweep engine, under the given
+// stream options.
+void check_graph(const Graph& g, const std::string& label,
+                 StreamCpmOptions options = {}) {
+  CpmOptions shared;
+  shared.min_k = options.min_k;
+  shared.max_k = options.max_k;
+  shared.threads = options.threads;
+  const CpmResult oracle = run_cpm(g, shared);
+  const StreamCpmResult stream = run_stream_cpm(g, options);
+  expect_same_cpm(oracle, stream.cpm, label);
+  if (stream.cpm.max_k < stream.cpm.min_k) return;
+  const SweepCpmResult sweep = run_sweep_cpm(g, shared);
+  expect_same_tree(sweep.tree, stream.tree, label);
+}
+
+// ----------------------------------------------- stream vs per-k oracle
+
+TEST(StreamCpm, MatchesOracleOnRandomGraphs) {
+  // >= 12 independent seeds across two densities.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    check_graph(random_graph(60, 0.2, seed),
+                "random n=60 p=0.2 seed=" + std::to_string(seed));
+  }
+  for (std::uint64_t seed = 7; seed <= 12; ++seed) {
+    check_graph(random_graph(40, 0.4, seed),
+                "random n=40 p=0.4 seed=" + std::to_string(seed));
+  }
+}
+
+TEST(StreamCpm, MatchesOracleOnScaleFreeGraphs) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    check_graph(preferential_attachment_graph(150, 4, seed),
+                "pa n=150 m=4 seed=" + std::to_string(seed));
+  }
+}
+
+TEST(StreamCpm, MatchesOracleOnSyntheticEcosystem) {
+  SynthParams params = SynthParams::test_scale();
+  for (std::uint64_t seed : {7u, 42u}) {
+    params.seed = seed;
+    const Graph g = generate_ecosystem(params).topology.graph;
+    check_graph(g, "synth seed=" + std::to_string(seed));
+  }
+}
+
+TEST(StreamCpm, MatchesOracleOnStructuredGraphs) {
+  check_graph(complete_graph(8), "K8");
+  check_graph(overlapping_cliques(5, 5, 3), "two 5-cliques sharing 3");
+  check_graph(overlapping_cliques(6, 4, 2), "6-clique and 4-clique sharing 2");
+  check_graph(make_graph(4, {{0, 1}, {2, 3}}), "two disjoint edges");
+}
+
+TEST(StreamCpm, MatchesOracleWithRestrictedKRange) {
+  const Graph g = random_graph(50, 0.3, 99);
+  for (std::size_t min_k : {2u, 3u, 4u, 6u}) {
+    StreamCpmOptions options;
+    options.min_k = min_k;
+    check_graph(g, "min_k=" + std::to_string(min_k), options);
+    options.max_k = min_k + 2;
+    check_graph(g, "k in [" + std::to_string(min_k) + ", +2]", options);
+  }
+}
+
+TEST(StreamCpm, WindowSizeDoesNotChangeTheOutput) {
+  // Tiny windows force many enumerate/join hand-offs on a graph whose
+  // default run fits one window; the output must not notice.
+  const Graph g = random_graph(60, 0.25, 17);
+  for (std::size_t window : {1u, 7u, 64u}) {
+    StreamCpmOptions options;
+    options.window_positions = window;
+    check_graph(g, "window=" + std::to_string(window), options);
+  }
+}
+
+TEST(StreamCpm, MatchesSweepOnPreEnumeratedCliques) {
+  const Graph g = random_graph(50, 0.3, 23);
+  ThreadPool pool(2);
+  std::vector<NodeSet> cliques = parallel_maximal_cliques(g, pool, 2);
+  const SweepCpmResult sweep = run_sweep_cpm_on_cliques(g, cliques, {});
+  const StreamCpmResult stream = run_stream_cpm_on_cliques(g, cliques, {});
+  expect_same_cpm(sweep.cpm, stream.cpm, "pre-enumerated");
+  expect_same_tree(sweep.tree, stream.tree, "pre-enumerated");
+}
+
+TEST(StreamCpm, EmptyGraphAndEmptyRange) {
+  EXPECT_TRUE(run_stream_cpm(Graph{}).cpm.by_k.empty());
+  StreamCpmOptions options;
+  options.min_k = 9;
+  const StreamCpmResult stream = run_stream_cpm(complete_graph(5), options);
+  EXPECT_LT(stream.cpm.max_k, stream.cpm.min_k);
+  EXPECT_TRUE(stream.cpm.by_k.empty());
+  EXPECT_TRUE(stream.tree.nodes().empty());
+}
+
+TEST(StreamCpm, RejectsBadInput) {
+  StreamCpmOptions options;
+  options.min_k = 1;
+  EXPECT_THROW(run_stream_cpm(complete_graph(3), options), Error);
+  EXPECT_THROW(
+      run_stream_cpm_on_cliques(complete_graph(3), {{2, 0, 1}}, {}), Error);
+}
+
+// ------------------------------------------------- memory budget + spill
+
+TEST(StreamCpm, ParsesMemoryBudgetUnits) {
+  EXPECT_EQ(parse_memory_budget("0"), 0u);
+  EXPECT_EQ(parse_memory_budget("65536"), 65536u);
+  EXPECT_EQ(parse_memory_budget("64K"), 64u * 1024);
+  EXPECT_EQ(parse_memory_budget("64k"), 64u * 1024);
+  EXPECT_EQ(parse_memory_budget("200M"), 200u * 1024 * 1024);
+  EXPECT_EQ(parse_memory_budget("1G"), 1024ull * 1024 * 1024);
+  EXPECT_EQ(parse_memory_budget("3g"), 3ull * 1024 * 1024 * 1024);
+}
+
+TEST(StreamCpm, RejectsMalformedMemoryBudgets) {
+  EXPECT_THROW(parse_memory_budget(""), Error);
+  EXPECT_THROW(parse_memory_budget("K"), Error);
+  EXPECT_THROW(parse_memory_budget("12X"), Error);
+  EXPECT_THROW(parse_memory_budget("64KB"), Error);
+  EXPECT_THROW(parse_memory_budget("1.5G"), Error);
+  EXPECT_THROW(parse_memory_budget("-1M"), Error);
+  EXPECT_THROW(parse_memory_budget("99999999999999999999"), Error);
+}
+
+TEST(StreamCpm, RejectsBudgetSmallerThanTheSpillChunk) {
+  // A budget that cannot stage even one reload chunk must fail loudly at
+  // entry, not thrash or silently ignore the cap.
+  StreamCpmOptions options;
+  options.memory_budget = stream_min_memory_budget() - 1;
+  EXPECT_THROW(run_stream_cpm(complete_graph(4), options), Error);
+  options.memory_budget = 1024;
+  EXPECT_THROW(run_stream_cpm(complete_graph(4), options), Error);
+  // The floor itself is accepted.
+  options.memory_budget = stream_min_memory_budget();
+  EXPECT_NO_THROW(run_stream_cpm(complete_graph(4), options));
+}
+
+TEST(StreamCpm, SpillsUnderAMinimalBudgetAndStaysExact) {
+  // Dense enough that the pair store far exceeds one spill chunk.
+  const Graph g = random_graph(80, 0.5, 5);
+  StreamCpmOptions options;
+  options.memory_budget = stream_min_memory_budget();
+  const StreamCpmResult budgeted = run_stream_cpm(g, options);
+  EXPECT_GT(budgeted.stats.spilled_pairs, 0u);
+  EXPECT_GT(budgeted.stats.spill_bytes, 0u);
+  EXPECT_LE(budgeted.stats.spilled_pairs, budgeted.stats.pairs_total)
+      << "spilled pairs are a subset of stored pairs";
+
+  const CpmResult oracle = run_cpm(g, {});
+  expect_same_cpm(oracle, budgeted.cpm, "spilling run");
+  const SweepCpmResult sweep = run_sweep_cpm(g, {});
+  expect_same_tree(sweep.tree, budgeted.tree, "spilling run");
+
+  // Unlimited run on the same graph: same output, nothing spilled.
+  const StreamCpmResult unlimited = run_stream_cpm(g, {});
+  EXPECT_EQ(unlimited.stats.spilled_pairs, 0u);
+  EXPECT_EQ(unlimited.stats.pairs_total, budgeted.stats.pairs_total);
+  expect_same_cpm(oracle, unlimited.cpm, "unlimited run");
+}
+
+TEST(StreamCpm, StatsReportPairsAndPeak) {
+  const Graph g = overlapping_cliques(6, 5, 3);
+  const StreamCpmResult stream = run_stream_cpm(g, {});
+  // Two overlapping maximal cliques -> exactly one overlap pair.
+  EXPECT_EQ(stream.stats.pairs_total, 1u);
+  EXPECT_EQ(stream.stats.resident_pair_bytes_peak, 8u);
+  EXPECT_EQ(stream.stats.spilled_pairs, 0u);
+  EXPECT_GE(stream.stats.windows, 1u);
+}
+
+// ------------------------------------------------------- engine facade
+
+TEST(CpmEngineStream, DispatchMatchesSweep) {
+  const Graph g = random_graph(50, 0.3, 5);
+  cpm::Options options;
+  options.engine = cpm::EngineKind::kSweep;
+  const cpm::Result sweep = cpm::Engine(options).run(g);
+  options.engine = cpm::EngineKind::kStream;
+  const cpm::Result stream = cpm::Engine(options).run(g);
+
+  expect_same_cpm(sweep.cpm, stream.cpm, "engine dispatch");
+  ASSERT_TRUE(stream.has_tree);
+  expect_same_tree(sweep.tree, stream.tree, "engine dispatch");
+  EXPECT_EQ(stream.engine, cpm::EngineKind::kStream);
+  // The fused pass has no separate clique stage.
+  EXPECT_EQ(stream.timings.cliques_seconds, 0.0);
+  EXPECT_GT(stream.timings.percolate_seconds, 0.0);
+  EXPECT_GT(stream.timings.total_seconds, 0.0);
+}
+
+TEST(CpmEngineStream, RunOnCliquesDispatch) {
+  const Graph g = random_graph(40, 0.35, 9);
+  ThreadPool pool(2);
+  std::vector<NodeSet> cliques = parallel_maximal_cliques(g, pool, 2);
+  cpm::Options options;
+  options.engine = cpm::EngineKind::kStream;
+  const cpm::Result stream =
+      cpm::Engine(options).run_on_cliques(g, cliques);
+  options.engine = cpm::EngineKind::kSweep;
+  const cpm::Result sweep =
+      cpm::Engine(options).run_on_cliques(g, std::move(cliques));
+  expect_same_cpm(sweep.cpm, stream.cpm, "run_on_cliques dispatch");
+  expect_same_tree(sweep.tree, stream.tree, "run_on_cliques dispatch");
+}
+
+TEST(CpmEngineStream, ParsesEngineNameAndBudgetFlag) {
+  EXPECT_EQ(cpm::parse_engine("stream"), cpm::EngineKind::kStream);
+  EXPECT_STREQ(cpm::engine_name(cpm::EngineKind::kStream), "stream");
+
+  const char* argv[] = {"prog", "--engine=stream", "--memory-budget=64M"};
+  const CliArgs args(3, argv, cpm::engine_cli_flags());
+  const cpm::Options options = cpm::options_from_cli(args);
+  EXPECT_EQ(options.engine, cpm::EngineKind::kStream);
+  EXPECT_EQ(options.memory_budget, 64ull * 1024 * 1024);
+
+  const char* bad[] = {"prog", "--memory-budget=12X"};
+  EXPECT_THROW(
+      cpm::options_from_cli(CliArgs(2, bad, cpm::engine_cli_flags())), Error);
+}
+
+}  // namespace
+}  // namespace kcc

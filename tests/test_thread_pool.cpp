@@ -85,5 +85,66 @@ TEST(ThreadPool, DefaultsToHardwareConcurrency) {
   EXPECT_GE(pool.thread_count(), 1u);
 }
 
+TEST(TaskGroup, WaitsForItsOwnJobsOnly) {
+  ThreadPool pool(4);
+  std::atomic<int> mine{0};
+  std::atomic<int> theirs{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < 50; ++i) {
+    group.run([&mine] { mine.fetch_add(1); });
+    pool.submit([&theirs] { theirs.fetch_add(1); });
+  }
+  group.wait();
+  EXPECT_EQ(mine.load(), 50);  // all of the group's jobs are done...
+  pool.wait_idle();
+  EXPECT_EQ(theirs.load(), 50);  // ...regardless of the untracked ones
+}
+
+TEST(TaskGroup, TwoGroupsOverlapInFlight) {
+  // The double-buffered pattern of the streaming enumerator: wait on group
+  // a while group b still has unscheduled work, then swap.
+  ThreadPool pool(2);
+  TaskGroup a(pool);
+  TaskGroup b(pool);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 10; ++round) {
+    TaskGroup& current = round % 2 == 0 ? a : b;
+    TaskGroup& next = round % 2 == 0 ? b : a;
+    for (int i = 0; i < 8; ++i) next.run([&] { counter.fetch_add(1); });
+    current.wait();
+  }
+  a.wait();
+  b.wait();
+  EXPECT_EQ(counter.load(), 80);
+}
+
+TEST(TaskGroup, WaitOnEmptyGroupReturnsImmediately) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  group.wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(TaskGroup, ReusableAfterWait) {
+  ThreadPool pool(3);
+  TaskGroup group(pool);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 20; ++i) group.run([&] { counter.fetch_add(1); });
+    group.wait();
+    EXPECT_EQ(counter.load(), (round + 1) * 20);
+  }
+}
+
+TEST(TaskGroup, DestructorWaitsForPendingJobs) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  {
+    TaskGroup group(pool);
+    for (int i = 0; i < 30; ++i) group.run([&] { counter.fetch_add(1); });
+  }  // ~TaskGroup must block until every job ran
+  EXPECT_EQ(counter.load(), 30);
+}
+
 }  // namespace
 }  // namespace kcc

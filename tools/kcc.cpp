@@ -5,7 +5,7 @@
 //       Generate a synthetic AS ecosystem and write topology.txt, ixps.txt,
 //       countries.txt, geo.txt into DIR.
 //   kcc cpm --edges=FILE [--k-min=2] [--k-max=0] [--engine=sweep]
-//       [--threads=0] [--out=FILE]
+//       [--threads=0] [--memory-budget=BYTES[K|M|G]] [--out=FILE]
 //       Extract k-clique communities from an edge list; print a summary and
 //       optionally save the result (io/result_io format).
 //   kcc tree --edges=FILE [--dot=FILE] [--min-k-shown=6]
@@ -46,19 +46,24 @@ int usage() {
       "usage: kcc <command> [flags]\n"
       "  generate --out-dir=DIR [--scale=test|bench|paper] [--seed=N]\n"
       "  cpm      --edges=FILE [--k-min=N] [--k-max=N] [--engine=ENGINE]\n"
-      "           [--threads=N] [--out=FILE]\n"
+      "           [--threads=N] [--memory-budget=BYTES[K|M|G]] [--out=FILE]\n"
       "  tree     --edges=FILE [--dot=FILE] [--min-k-shown=N] [--engine=ENGINE]\n"
       "  analyze  --edges=FILE --ixps=FILE --countries=FILE --geo=FILE\n"
       "           [--threads=N] [--engine=ENGINE]\n"
       "  info     --edges=FILE\n"
       "\n"
       "engine selection (cpm/tree/analyze):\n"
-      "  --engine=sweep|per_k|reference\n"
+      "  --engine=sweep|stream|per_k|reference\n"
       "           sweep (default) runs the single-pass community-tree\n"
-      "           engine; per_k is the original per-k percolation;\n"
-      "           reference is the literal definition (tiny graphs only)\n"
+      "           engine; stream is the same sweep with bounded memory\n"
+      "           (cliques and overlap pairs never materialize globally);\n"
+      "           per_k is the original per-k percolation; reference is\n"
+      "           the literal definition (tiny graphs only)\n"
       "  --k-min=N/--k-max=N bound the community order (aliases\n"
       "           --min-k/--max-k are accepted for compatibility)\n"
+      "  --memory-budget=BYTES[K|M|G]\n"
+      "           stream engine only: cap resident overlap-pair bytes,\n"
+      "           spilling buckets to temp files past the cap (0 = off)\n"
       "\n"
       "observability flags (accepted by every command):\n"
       "  --log-level=off|error|warn|info|debug|trace\n"
