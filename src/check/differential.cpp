@@ -1,0 +1,221 @@
+#include "check/differential.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "common/error.h"
+#include "cpm/stream_cpm.h"
+#include "obs/metrics.h"
+
+namespace kcc::check {
+namespace {
+
+struct Variant {
+  std::string label;
+  cpm::Options options;
+  bool node_sets_only = false;  // reference engine: no cliques / map / tree
+};
+
+// One option group: a k range plus every engine/thread/budget combination
+// that must agree on it. The baseline is variants.front().
+std::vector<Variant> build_matrix(std::size_t min_k, std::size_t max_k,
+                                  const Graph& g, const DiffOptions& diff) {
+  const std::string suffix =
+      max_k == 0 ? "" : "/k" + std::to_string(min_k) + "-" + std::to_string(max_k);
+  auto make = [&](const char* label, cpm::EngineKind kind,
+                  std::size_t threads) {
+    Variant v;
+    v.label = std::string(label) + suffix;
+    v.options.engine = kind;
+    v.options.min_k = min_k;
+    v.options.max_k = max_k;
+    v.options.threads = threads;
+    return v;
+  };
+  std::vector<Variant> matrix;
+  matrix.push_back(make("per_k/t1", cpm::EngineKind::kPerK, 1));
+  matrix.push_back(make("per_k/tN", cpm::EngineKind::kPerK, diff.threads));
+  matrix.push_back(make("sweep/t1", cpm::EngineKind::kSweep, 1));
+  matrix.push_back(make("sweep/tN", cpm::EngineKind::kSweep, diff.threads));
+  matrix.push_back(make("stream/t1", cpm::EngineKind::kStream, 1));
+  matrix.push_back(make("stream/tN", cpm::EngineKind::kStream, diff.threads));
+  {
+    // Forced spill: the smallest budget the streaming engine accepts, so
+    // overlap pairs round-trip through the spill files.
+    Variant v = make("stream/t1/spill", cpm::EngineKind::kStream, 1);
+    v.options.memory_budget = stream_min_memory_budget();
+    matrix.push_back(v);
+  }
+  if (diff.include_reference && g.num_nodes() <= diff.reference_max_nodes &&
+      g.num_edges() <= diff.reference_max_edges) {
+    Variant v = make("reference", cpm::EngineKind::kReference, 1);
+    v.options.build_tree = false;  // dropped from the comparison anyway
+    v.node_sets_only = true;
+    matrix.push_back(v);
+  }
+  return matrix;
+}
+
+/// First line where the two canonical texts diverge, with both readings.
+std::string first_diff(const std::string& base_label, const std::string& base,
+                       const std::string& label, const std::string& text) {
+  std::istringstream a(base), b(text);
+  std::string line_a, line_b;
+  std::size_t line_no = 1;
+  while (true) {
+    const bool has_a = static_cast<bool>(std::getline(a, line_a));
+    const bool has_b = static_cast<bool>(std::getline(b, line_b));
+    if (!has_a && !has_b) return {};  // identical
+    if (!has_a || !has_b || line_a != line_b) {
+      std::ostringstream out;
+      out << label << " diverges from " << base_label << " at canonical line "
+          << line_no << ":\n  " << base_label << ": "
+          << (has_a ? line_a : std::string("<end>")) << "\n  " << label
+          << ": " << (has_b ? line_b : std::string("<end>"));
+      return out.str();
+    }
+    ++line_no;
+  }
+}
+
+// Test-only corruption hook (see header). Returns a description of what was
+// corrupted, or empty when the result has no record of the requested kind.
+std::string inject_fault(cpm::Result& result, const std::string& kind) {
+  if (kind == "community") {
+    for (CommunitySet& set : result.cpm.by_k) {
+      for (Community& c : set.communities) {
+        if (!c.nodes.empty()) {
+          c.nodes.pop_back();
+          return "dropped a node from k=" + std::to_string(set.k) +
+                 " community " + std::to_string(c.id);
+        }
+      }
+    }
+    return {};
+  }
+  if (kind == "clique-map") {
+    for (CommunitySet& set : result.cpm.by_k) {
+      if (!set.community_of_clique.empty()) {
+        CommunityId& entry = set.community_of_clique[0];
+        entry = entry == CommunitySet::kNoCommunity
+                    ? CommunityId{0}
+                    : CommunitySet::kNoCommunity;
+        return "flipped community_of_clique[0] at k=" + std::to_string(set.k);
+      }
+    }
+    return {};
+  }
+  if (kind == "tree") {
+    if (result.has_tree && !result.tree.nodes().empty()) {
+      // The canonical text serializes is_main; a const_cast keeps the hook
+      // out of the CommunityTree API surface.
+      auto& node = const_cast<TreeNode&>(result.tree.nodes()[0]);
+      node.is_main = !node.is_main;
+      return "flipped is_main on tree node 0";
+    }
+    return {};
+  }
+  throw Error("KCC_CHECK_INJECT_FAULT: unknown fault kind '" + kind +
+              "' (community|clique-map|tree)");
+}
+
+}  // namespace
+
+DiffOutcome run_differential(const Graph& g, const DiffOptions& options) {
+  auto& graphs_total = obs::metrics().counter("check_graphs_total");
+  auto& variants_total = obs::metrics().counter("check_variants_total");
+  auto& invariants_total = obs::metrics().counter("check_invariants_total");
+  auto& mismatches_total = obs::metrics().counter("check_mismatches_total");
+  auto& faults_total = obs::metrics().counter("check_faults_injected_total");
+  graphs_total.inc();
+
+  const char* fault_env = std::getenv("KCC_CHECK_INJECT_FAULT");
+  const std::string fault_kind = fault_env ? fault_env : "";
+
+  DiffOutcome outcome;
+  std::vector<std::pair<std::size_t, std::size_t>> groups{{2, 0}};
+  if (options.include_restricted_range) groups.push_back({3, 5});
+
+  for (const auto& [min_k, max_k] : groups) {
+    const std::vector<Variant> matrix = build_matrix(min_k, max_k, g, options);
+    // The last non-reference variant hosts the injected fault, so all three
+    // fault kinds (community / clique-map / tree) have a record to corrupt.
+    std::size_t fault_target = matrix.size();
+    if (!fault_kind.empty()) {
+      for (std::size_t i = matrix.size(); i-- > 0;) {
+        if (!matrix[i].node_sets_only) {
+          fault_target = i;
+          break;
+        }
+      }
+    }
+
+    std::string baseline_text;       // full canonical serialization
+    std::string baseline_node_text;  // node-sets-only projection
+    for (std::size_t i = 0; i < matrix.size(); ++i) {
+      const Variant& variant = matrix[i];
+      cpm::Result result = cpm::Engine(variant.options).run(g);
+      ++outcome.variants_run;
+      variants_total.inc();
+
+      if (i == fault_target) {
+        const std::string injected = inject_fault(result, fault_kind);
+        if (!injected.empty()) {
+          outcome.fault_injected = true;
+          faults_total.inc();
+        }
+      }
+
+      if (i == 0) {
+        // Baseline: serialize both projections and run the invariant
+        // oracles. Differential equality extends their verdict to every
+        // variant that matches byte-for-byte.
+        baseline_text = cpm::canonical_text(result);
+        baseline_node_text =
+            cpm::canonical_text(result, {false, false, false});
+        Report report = check_invariants(g, result, options.invariants);
+        outcome.invariants_checked += report.invariants_checked;
+        invariants_total.inc(report.invariants_checked);
+        if (!report.ok()) {
+          mismatches_total.inc(report.failures.size());
+          if (outcome.failure.empty()) {
+            outcome.failure =
+                "invariants violated on " + variant.label + ":\n" +
+                report.to_string();
+          }
+        }
+        continue;
+      }
+
+      const std::string text =
+          variant.node_sets_only
+              ? cpm::canonical_text(result, {false, false, false})
+              : cpm::canonical_text(result);
+      const std::string& base =
+          variant.node_sets_only ? baseline_node_text : baseline_text;
+      const std::string diff =
+          first_diff(matrix[0].label, base, variant.label, text);
+      if (!diff.empty()) {
+        mismatches_total.inc();
+        if (outcome.failure.empty()) outcome.failure = diff;
+      }
+    }
+  }
+  return outcome;
+}
+
+DiffOutcome run_differential(const TestGraph& graph,
+                             const DiffOptions& options) {
+  const Graph g = graph.build();
+  DiffOutcome outcome = run_differential(g, options);
+  if (!outcome.ok()) {
+    outcome.failure = "graph '" + graph.name + "' (" +
+                      std::to_string(g.num_nodes()) + " nodes, " +
+                      std::to_string(g.num_edges()) + " edges): " +
+                      outcome.failure;
+  }
+  return outcome;
+}
+
+}  // namespace kcc::check

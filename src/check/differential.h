@@ -1,0 +1,64 @@
+// Differential runner: all engines × option matrix on one graph.
+//
+// For each option group (the full k range and a restricted one) a baseline
+// engine runs first (per_k, single-threaded — the structure closest to the
+// original LP-CPM oracle); every other variant (per_k/sweep/stream × threads
+// ∈ {1, N}, streaming with a forced-spill memory budget, and — on tiny
+// graphs — the exponential reference engine) must produce a byte-identical
+// canonical serialization (cpm::canonical_text). The baseline result is also
+// validated from first principles by the invariant oracles (invariants.h).
+// Any divergence is reported as the first differing canonical line, which
+// pinpoints the k level / community / tree node that went wrong.
+//
+// Fault-injection self-test: when the KCC_CHECK_INJECT_FAULT environment
+// variable is set ("community" | "clique-map" | "tree"), the runner corrupts
+// one record of the final variant's result before diffing. A healthy harness
+// must detect the corruption — tools/kcc_fuzz.cpp --expect-fault turns this
+// into a ctest guard against a vacuously-green fuzzer.
+//
+// obs counters: check_graphs_total, check_variants_total,
+// check_invariants_total, check_mismatches_total, check_faults_injected_total
+// (catalog in docs/OBSERVABILITY.md).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "check/generators.h"
+#include "check/invariants.h"
+#include "graph/graph.h"
+
+namespace kcc::check {
+
+struct DiffOptions {
+  /// The "N" of the threads ∈ {1, N} axis.
+  std::size_t threads = 4;
+  /// Run the exponential reference engine when the graph is small enough.
+  bool include_reference = true;
+  std::size_t reference_max_nodes = 24;
+  std::size_t reference_max_edges = 80;
+  /// Also run a restricted-k-range option group (min_k = 3, max_k = 5).
+  bool include_restricted_range = true;
+  InvariantOptions invariants;
+};
+
+struct DiffOutcome {
+  /// Variant labels that were executed, e.g. "sweep/t1", "stream/t1/spill".
+  std::size_t variants_run = 0;
+  std::uint64_t invariants_checked = 0;
+  /// Empty iff everything agreed and every invariant held.
+  std::string failure;
+  /// True when KCC_CHECK_INJECT_FAULT corrupted a record in this run.
+  bool fault_injected = false;
+
+  bool ok() const { return failure.empty(); }
+};
+
+/// Runs the full engine/option matrix on `g` and diffs canonical results.
+DiffOutcome run_differential(const Graph& g, const DiffOptions& options = {});
+
+/// Convenience overload building the graph from a corpus entry.
+DiffOutcome run_differential(const TestGraph& graph,
+                             const DiffOptions& options = {});
+
+}  // namespace kcc::check

@@ -1,0 +1,296 @@
+#include "check/generators.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "synth/as_topology.h"
+#include "synth/params.h"
+
+namespace kcc::check {
+namespace {
+
+TestGraph fixed(std::string name, std::size_t n,
+                std::vector<Edge> edges = {}) {
+  TestGraph g;
+  g.name = std::move(name);
+  g.num_nodes = n;
+  g.edges = std::move(edges);
+  return g;
+}
+
+void mesh(TestGraph& g, const std::vector<NodeId>& nodes) {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      g.edges.emplace_back(nodes[i], nodes[j]);
+    }
+  }
+}
+
+std::vector<NodeId> range(NodeId lo, NodeId hi) {  // [lo, hi)
+  std::vector<NodeId> out;
+  for (NodeId v = lo; v < hi; ++v) out.push_back(v);
+  return out;
+}
+
+TestGraph degenerate(std::size_t index) {
+  switch (index) {
+    case 0:
+      return fixed("empty", 0);
+    case 1:
+      return fixed("isolated(4)", 4);
+    case 2:
+      return fixed("single-edge", 2, {{0, 1}});
+    case 3: {
+      TestGraph g = fixed("star(6)", 7);
+      for (NodeId v = 1; v < 7; ++v) g.edges.emplace_back(0, v);
+      return g;
+    }
+    case 4: {
+      TestGraph g = fixed("path(6)", 6);
+      for (NodeId v = 0; v + 1 < 6; ++v) g.edges.emplace_back(v, v + 1);
+      return g;
+    }
+    case 5: {
+      TestGraph g = fixed("cycle(7)", 7);
+      for (NodeId v = 0; v < 7; ++v) {
+        g.edges.emplace_back(v, static_cast<NodeId>((v + 1) % 7));
+      }
+      return g;
+    }
+    case 6: {
+      TestGraph g = fixed("complete(6)", 6);
+      mesh(g, range(0, 6));
+      return g;
+    }
+    case 7: {
+      // Disconnected: two triangles plus an isolated node.
+      TestGraph g = fixed("two-triangles+isolated", 7);
+      mesh(g, {0, 1, 2});
+      mesh(g, {3, 4, 5});
+      return g;
+    }
+    case 8: {
+      // The canonical CPM example: K5 and K5 sharing 3 nodes.
+      TestGraph g = fixed("overlap(5,5,share=3)", 7);
+      mesh(g, {0, 1, 2, 3, 4});
+      mesh(g, {0, 1, 2, 5, 6});
+      return g;
+    }
+    default: {
+      // Triangle-free but connected: communities exist only at k = 2.
+      TestGraph g = fixed("bipartite(3,3)", 6);
+      for (NodeId u = 0; u < 3; ++u) {
+        for (NodeId v = 3; v < 6; ++v) g.edges.emplace_back(u, v);
+      }
+      return g;
+    }
+  }
+}
+
+TestGraph erdos_renyi(Rng& rng) {
+  const std::size_t n = 8 + rng.next_below(41);
+  const double p = 0.05 + 0.45 * rng.next_double();
+  std::ostringstream name;
+  name << "er(n=" << n << ",p=" << p << ')';
+  TestGraph g = fixed(name.str(), n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      if (rng.next_bool(p)) g.edges.emplace_back(i, j);
+    }
+  }
+  return g;
+}
+
+TestGraph planted_cliques(Rng& rng) {
+  const std::size_t n = 20 + rng.next_below(41);
+  const std::size_t plants = 1 + rng.next_below(3);
+  TestGraph g = fixed("planted(n=" + std::to_string(n) + ",c=" +
+                          std::to_string(plants) + ')',
+                      n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      if (rng.next_bool(0.06)) g.edges.emplace_back(i, j);
+    }
+  }
+  std::vector<NodeId> pool = range(0, static_cast<NodeId>(n));
+  for (std::size_t c = 0; c < plants; ++c) {
+    const std::size_t size = 4 + rng.next_below(6);
+    mesh(g, rng.sample_without_replacement(pool, std::min(size, n)));
+  }
+  return g;
+}
+
+TestGraph preferential_attachment(Rng& rng) {
+  const std::size_t n = 15 + rng.next_below(46);
+  const std::size_t m = 1 + rng.next_below(3);
+  TestGraph g = fixed(
+      "pa(n=" + std::to_string(n) + ",m=" + std::to_string(m) + ')', n);
+  std::vector<NodeId> pool;
+  for (NodeId v = 1; v <= m && v < n; ++v) {
+    g.edges.emplace_back(0, v);
+    pool.push_back(0);
+    pool.push_back(v);
+  }
+  for (NodeId v = static_cast<NodeId>(m + 1); v < n; ++v) {
+    for (std::size_t e = 0; e < m; ++e) {
+      const NodeId target = pool[rng.next_below(pool.size())];
+      if (target != v) {
+        g.edges.emplace_back(v, target);
+        pool.push_back(target);
+        pool.push_back(v);
+      }
+    }
+  }
+  return g;
+}
+
+// A chain of cliques where consecutive links share a random number of
+// nodes — small-scale analog of the ecosystem's trunk chains, and the
+// family most likely to exercise percolation across many k at once.
+TestGraph clique_chain(Rng& rng) {
+  const std::size_t links = 2 + rng.next_below(6);
+  TestGraph g = fixed("chain(links=" + std::to_string(links) + ')', 0);
+  NodeId next_node = 0;
+  std::vector<NodeId> previous;
+  for (std::size_t link = 0; link < links; ++link) {
+    const std::size_t size = 3 + rng.next_below(6);
+    const std::size_t shared =
+        previous.empty() ? 0
+                         : 1 + rng.next_below(std::min(previous.size(),
+                                                       size - 1));
+    std::vector<NodeId> members =
+        rng.sample_without_replacement(previous, shared);
+    while (members.size() < size) members.push_back(next_node++);
+    mesh(g, members);
+    previous = std::move(members);
+  }
+  g.num_nodes = next_node;
+  return g;
+}
+
+// The synthetic AS ecosystem at a few hundred ASes: all the planted
+// structure (apex clique, crowns, trunk chains, regional cliques) at a size
+// where a full engine matrix plus the O(C^2) percolation oracle stays in
+// milliseconds.
+TestGraph mini_ecosystem(Rng& rng) {
+  SynthParams params;
+  params.seed = rng.next_u64();
+  params.num_ases = 320 + rng.next_below(161);
+  params.num_tier1 = 5;
+  params.transit_fraction = 0.15;
+  params.num_countries = 8;
+  params.num_regional_cliques = 25;
+  params.regional_clique_min = 3;
+  params.regional_clique_max = 6;
+  params.num_ixps = 8;
+  params.big_ixp_count = 1;
+  params.big_ixp_participants = 40;
+  params.big_core_size = 14;
+  params.big_middle_ring = 20;
+  params.small_ixp_min = 3;
+  params.small_ixp_max = 12;
+  params.route_server_ixp_max = 8;
+  params.apex_clique_size = 10;
+  params.apex_satellites = 1;
+  params.crown_cliques_per_big_ixp = 2;
+  params.crown_clique_min = 7;
+  params.crown_clique_max = 8;
+  params.trunk_chains = 2;
+  // plant_trunk_chains glues each chain with an attach overlap >= 4, so the
+  // chain k must stay above that.
+  params.trunk_chain_min_k = 5;
+  params.trunk_chain_max_k = 6;
+  params.trunk_chain_min_len = 2;
+  params.trunk_chain_max_len = 3;
+  params.nested_branch_base = 5;
+  params.nested_branch_levels = 2;
+  params.validate();
+  const AsEcosystem eco = generate_ecosystem(params);
+  TestGraph g = fixed("ecosystem(n=" + std::to_string(params.num_ases) +
+                          ",seed=" + std::to_string(params.seed) + ')',
+                      eco.topology.graph.num_nodes());
+  g.edges = eco.topology.graph.edges();
+  return g;
+}
+
+}  // namespace
+
+Graph TestGraph::build() const {
+  std::size_t n = num_nodes;
+  std::vector<Edge> clean;
+  clean.reserve(edges.size());
+  for (const Edge& e : edges) {
+    if (e.first == e.second) continue;  // loader semantics: drop self-loops
+    n = std::max<std::size_t>(n, std::max(e.first, e.second) + 1);
+    clean.push_back(e);
+  }
+  return Graph::from_edges(n, clean);
+}
+
+std::string TestGraph::to_edge_list() const {
+  std::ostringstream out;
+  out << "# " << name << '\n';
+  for (const Edge& e : edges) out << e.first << ' ' << e.second << '\n';
+  return out.str();
+}
+
+std::size_t degenerate_graph_count() { return 10; }
+
+void mutate_graph(TestGraph& graph, Rng& rng) {
+  const std::size_t n = std::max<std::size_t>(graph.num_nodes, 2);
+  switch (rng.next_below(3)) {
+    case 0: {  // add (self-loops and duplicates intentionally possible)
+      graph.edges.emplace_back(static_cast<NodeId>(rng.next_below(n)),
+                               static_cast<NodeId>(rng.next_below(n)));
+      graph.name += "+add";
+      break;
+    }
+    case 1: {  // remove
+      if (!graph.edges.empty()) {
+        graph.edges.erase(graph.edges.begin() +
+                          static_cast<std::ptrdiff_t>(
+                              rng.next_below(graph.edges.size())));
+        graph.name += "+del";
+      }
+      break;
+    }
+    default: {  // rewire one endpoint
+      if (!graph.edges.empty()) {
+        Edge& e = graph.edges[rng.next_below(graph.edges.size())];
+        NodeId& end = rng.next_bool(0.5) ? e.first : e.second;
+        end = static_cast<NodeId>(rng.next_below(n));
+        graph.name += "+rewire";
+      }
+      break;
+    }
+  }
+}
+
+TestGraph generate_graph(std::uint64_t seed, std::size_t index) {
+  if (index < degenerate_graph_count()) return degenerate(index);
+  // Decorrelate (seed, index) pairs; Rng's reseed runs SplitMix64 on top.
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + index);
+  TestGraph g;
+  switch ((index - degenerate_graph_count()) % 5) {
+    case 0:
+      g = erdos_renyi(rng);
+      break;
+    case 1:
+      g = planted_cliques(rng);
+      break;
+    case 2:
+      g = preferential_attachment(rng);
+      break;
+    case 3:
+      g = clique_chain(rng);
+      break;
+    default:
+      g = mini_ecosystem(rng);
+      break;
+  }
+  const std::size_t mutations = rng.next_below(4);
+  for (std::size_t m = 0; m < mutations; ++m) mutate_graph(g, rng);
+  return g;
+}
+
+}  // namespace kcc::check

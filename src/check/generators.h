@@ -1,0 +1,54 @@
+// Fuzzing corpus: graph generators and mutators for the check:: subsystem.
+//
+// generate_graph(seed, index) is a pure function of its arguments — the
+// whole corpus is replayable from a single (seed, iteration-count) pair,
+// which is what makes `kcc_fuzz --seed S --iters N` deterministic. The
+// first degenerate_graph_count() indices are fixed pathological shapes
+// (empty, isolated nodes, star, path, cycle, complete, disconnected,
+// overlapping cliques, bipartite); later indices cycle through seeded
+// families (Erdős–Rényi, planted cliques, preferential attachment, clique
+// chains, a scaled-down synthetic AS ecosystem) with a few random edge
+// add/remove/rewire mutations layered on top.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace kcc::check {
+
+/// An undirected edge as generated / mutated; may contain self-loops and
+/// duplicates (build() cleans them the way the edge-list loader does, so
+/// mutated graphs stay loadable as artifacts).
+using Edge = std::pair<NodeId, NodeId>;
+
+/// A corpus entry: the edge list is the substrate the shrinker minimizes.
+struct TestGraph {
+  std::string name;  // human-readable provenance, e.g. "er(n=23,p=0.31)"
+  std::size_t num_nodes = 0;
+  std::vector<Edge> edges;
+
+  /// Materializes the Graph (num_nodes grows to cover every endpoint).
+  Graph build() const;
+
+  /// "u v" lines with a "# name" comment header — loadable by
+  /// io/read_edge_list, the reproducer-artifact format under tests/corpus/.
+  std::string to_edge_list() const;
+};
+
+/// Number of fixed degenerate shapes at the start of every corpus.
+std::size_t degenerate_graph_count();
+
+/// The `index`-th graph of the corpus for `seed`. Indices below
+/// degenerate_graph_count() are seed-independent fixed shapes.
+TestGraph generate_graph(std::uint64_t seed, std::size_t index);
+
+/// Applies one random add / remove / rewire mutation in place.
+void mutate_graph(TestGraph& graph, Rng& rng);
+
+}  // namespace kcc::check

@@ -1,0 +1,80 @@
+// Invariant oracles: validate any cpm::Engine result from first principles.
+//
+// The engines promise byte-identical output, but identical output can still
+// be identically *wrong*. These oracles re-derive what a correct result must
+// look like straight from the definitions in the paper, sharing no
+// percolation code with the engines:
+//
+//  * clique table   — every emitted clique is a clique of g and maximal per
+//    the Bron–Kerbosch definition (no outside vertex adjacent to all
+//    members), the table has no duplicates, and it is complete (every
+//    maximal clique of size >= 2 appears);
+//  * community shape — node sets sorted/unique/in-range, each community is
+//    the union of its listed cliques, every listed clique has size >= k,
+//    levels are in canonical order (size desc, nodes lex) with dense ids,
+//    and the clique -> community map partitions the eligible cliques;
+//  * percolation    — communities at each k are re-derived with an
+//    independent O(C^2) pairwise-overlap union-find (cliques sharing
+//    >= k-1 nodes percolate together; k = 2 via connected components) and
+//    compared set-for-set;
+//  * nesting        — Theorem 1 (paper Sec. 3.1): each k-community lies in
+//    exactly one (k-1)-community;
+//  * tree           — levels mirror the community sets, parents live one
+//    level down and contain their children, child links are consistent,
+//    and the main chain is exactly the apex's ancestor path;
+//  * metrics        — link density, average ODF and pairwise community
+//    overlaps recompute to the exported values with naive loops.
+//
+// Used by the check:: differential runner (differential.h) and directly by
+// tests; docs/TESTING.md describes the workflow.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpm/engine.h"
+#include "graph/graph.h"
+
+namespace kcc::check {
+
+/// One violated invariant, with enough detail to locate the offender.
+struct Failure {
+  std::string invariant;  // e.g. "percolation", "nesting", "clique-maximal"
+  std::string detail;
+};
+
+struct Report {
+  std::vector<Failure> failures;
+  /// Number of elementary predicates evaluated (loud in kcc_fuzz output so
+  /// a vacuously-green run is visible as a suspiciously low count).
+  std::uint64_t invariants_checked = 0;
+
+  bool ok() const { return failures.empty(); }
+  void add(std::string invariant, std::string detail);
+  void merge(Report other);
+  /// Human-readable failure list (empty string when ok()).
+  std::string to_string() const;
+};
+
+struct InvariantOptions {
+  /// Recompute per-community metrics (density, ODF, overlaps) and compare
+  /// against metrics/ exports.
+  bool check_metrics = true;
+  /// The percolation re-derivation is O(C^2) clique intersections per k;
+  /// above this clique count it is skipped (the structural checks remain).
+  std::size_t max_cliques_for_percolation = 20000;
+  /// Clique-table completeness re-enumerates maximal cliques; skipped above
+  /// this node count.
+  std::size_t max_nodes_for_completeness = 4096;
+  /// min_clique_size the engine ran with (cliques below it are absent).
+  std::size_t min_clique_size = 2;
+};
+
+/// Validates `result` (as produced by any engine over `g`) from first
+/// principles. A Result whose cpm carries no clique table (the reference
+/// engine) gets the node-set-level checks only.
+Report check_invariants(const Graph& g, const cpm::Result& result,
+                        const InvariantOptions& options = {});
+
+}  // namespace kcc::check

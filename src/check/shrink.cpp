@@ -1,0 +1,97 @@
+#include "check/shrink.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.h"
+
+namespace kcc::check {
+namespace {
+
+// Drops isolated nodes and renumbers the rest densely, so the artifact's
+// node count matches what read_edge_list reconstructs from the labels.
+TestGraph compact(const TestGraph& g) {
+  std::map<NodeId, NodeId> dense;
+  for (const Edge& e : g.edges) {
+    dense.emplace(e.first, 0);
+    dense.emplace(e.second, 0);
+  }
+  NodeId next = 0;
+  for (auto& [node, id] : dense) id = next++;
+  TestGraph out;
+  out.name = g.name;
+  out.num_nodes = dense.size();
+  out.edges.reserve(g.edges.size());
+  for (const Edge& e : g.edges) {
+    out.edges.emplace_back(dense.at(e.first), dense.at(e.second));
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const TestGraph& failing,
+                    const FailurePredicate& predicate,
+                    std::size_t max_evaluations) {
+  ShrinkResult result;
+  result.graph = failing;
+  auto still_fails = [&](const TestGraph& candidate) {
+    ++result.evaluations;
+    return predicate(candidate);
+  };
+  require(still_fails(failing),
+          "check::shrink: the input graph does not satisfy the failure "
+          "predicate");
+
+  // ddmin over the edge list: try to delete chunks, halving the chunk size
+  // whenever a full sweep at the current size removes nothing.
+  TestGraph current = failing;
+  std::size_t chunk = std::max<std::size_t>(current.edges.size() / 2, 1);
+  while (chunk >= 1 && result.evaluations < max_evaluations) {
+    bool removed_any = false;
+    std::size_t begin = 0;
+    while (begin < current.edges.size() &&
+           result.evaluations < max_evaluations) {
+      TestGraph candidate = current;
+      const std::size_t end =
+          std::min(begin + chunk, candidate.edges.size());
+      candidate.edges.erase(
+          candidate.edges.begin() + static_cast<std::ptrdiff_t>(begin),
+          candidate.edges.begin() + static_cast<std::ptrdiff_t>(end));
+      if (still_fails(candidate)) {
+        current = std::move(candidate);  // keep; retry the same offset
+        removed_any = true;
+      } else {
+        begin = end;
+      }
+    }
+    if (chunk == 1 && !removed_any) break;
+    if (!removed_any) chunk = std::max<std::size_t>(chunk / 2, 1);
+  }
+
+  // compact() relabels nodes; keep the compacted form only if the predicate
+  // still holds on what we would actually report (and write as artifact).
+  TestGraph compacted = compact(current);
+  if (result.evaluations < max_evaluations && still_fails(compacted)) {
+    current = std::move(compacted);
+  }
+  result.graph = std::move(current);
+
+  // 1-minimality: every surviving edge is load-bearing.
+  result.one_minimal = true;
+  for (std::size_t i = 0;
+       i < result.graph.edges.size() && result.evaluations < max_evaluations;
+       ++i) {
+    TestGraph candidate = result.graph;
+    candidate.edges.erase(candidate.edges.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+    if (still_fails(candidate)) {
+      result.one_minimal = false;  // ddmin budget ran out mid-sweep
+      break;
+    }
+  }
+  if (result.evaluations >= max_evaluations) result.one_minimal = false;
+  return result;
+}
+
+}  // namespace kcc::check

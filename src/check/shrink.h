@@ -1,0 +1,37 @@
+// Delta-debugging shrinker: minimize a failing graph to a reproducer.
+//
+// Given a TestGraph on which `predicate` returns true ("still fails"), the
+// shrinker greedily removes edge chunks (ddmin: halving chunk sizes down to
+// single edges), then compacts away isolated nodes, and returns the smallest
+// edge list that still satisfies the predicate. The result is 1-minimal:
+// removing any single remaining edge makes the predicate pass. Everything is
+// deterministic — no randomness, edge order preserved — so a shrink is
+// replayable from the original failure. kcc_fuzz writes the result via
+// TestGraph::to_edge_list() as a loadable artifact under tests/corpus/.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "check/generators.h"
+
+namespace kcc::check {
+
+/// Returns true when `graph` still exhibits the failure being minimized.
+/// Must be deterministic; it is called O(edges * log edges) times.
+using FailurePredicate = std::function<bool(const TestGraph&)>;
+
+struct ShrinkResult {
+  TestGraph graph;                    // the minimized reproducer
+  std::size_t evaluations = 0;        // predicate calls spent
+  bool one_minimal = false;           // verified: every edge is load-bearing
+};
+
+/// ddmin over `failing.edges`. `failing` must satisfy `predicate`; throws
+/// kcc::Error otherwise (a shrink request for a passing graph is a harness
+/// bug). `max_evaluations` bounds the search; when exhausted the best
+/// reduction so far is returned with one_minimal = false.
+ShrinkResult shrink(const TestGraph& failing, const FailurePredicate& predicate,
+                    std::size_t max_evaluations = 10000);
+
+}  // namespace kcc::check

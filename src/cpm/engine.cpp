@@ -1,6 +1,7 @@
 #include "cpm/engine.h"
 
 #include <algorithm>
+#include <sstream>
 #include <utility>
 
 #include "clique/parallel_cliques.h"
@@ -224,6 +225,71 @@ Result Engine::run_weighted(const Graph& g, const EdgeWeights& weights) const {
   // Intensity filtering can break the nesting theorem, so has_tree stays
   // false regardless of build_tree.
   return result;
+}
+
+std::string canonical_text(const Result& result,
+                           const CanonicalOptions& options) {
+  std::ostringstream out;
+  const CpmResult& cpm = result.cpm;
+  out << "k " << cpm.min_k << ' ' << cpm.max_k << '\n';
+  if (options.include_cliques) {
+    out << "cliques " << cpm.cliques.size() << '\n';
+    for (CliqueId c = 0; c < cpm.cliques.size(); ++c) {
+      out << "q " << c;
+      for (NodeId v : cpm.cliques[c]) out << ' ' << v;
+      out << '\n';
+    }
+  }
+  for (const CommunitySet& set : cpm.by_k) {
+    out << "level " << set.k << ' ' << set.count() << '\n';
+    for (const Community& c : set.communities) {
+      out << "m " << c.id << " n";
+      for (NodeId v : c.nodes) out << ' ' << v;
+      if (options.include_clique_ids) {
+        out << " c";
+        for (CliqueId q : c.clique_ids) out << ' ' << q;
+      }
+      out << '\n';
+    }
+    if (options.include_clique_ids) {
+      out << "map";
+      for (CommunityId id : set.community_of_clique) {
+        if (id == CommunitySet::kNoCommunity) {
+          out << " -";
+        } else {
+          out << ' ' << id;
+        }
+      }
+      out << '\n';
+    }
+  }
+  if (options.include_tree) {
+    out << "tree " << (result.has_tree ? result.tree.nodes().size() : 0)
+        << '\n';
+    if (result.has_tree) {
+      for (std::size_t i = 0; i < result.tree.nodes().size(); ++i) {
+        const TreeNode& node = result.tree.nodes()[i];
+        out << "t " << i << " k=" << node.k << " id=" << node.community_id
+            << " size=" << node.size << " parent=" << node.parent
+            << " main=" << (node.is_main ? 1 : 0);
+        out << " ch";
+        for (int child : node.children) out << ' ' << child;
+        out << '\n';
+      }
+    }
+  }
+  return out.str();
+}
+
+std::uint64_t canonical_digest(const Result& result,
+                               const CanonicalOptions& options) {
+  const std::string text = canonical_text(result, options);
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned char ch : text) {
+    hash ^= ch;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
 }
 
 const std::vector<std::string>& engine_cli_flags() {

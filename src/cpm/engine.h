@@ -131,6 +131,26 @@ class Engine {
   Options options_;
 };
 
+/// What the canonical serialization covers. The reference engine produces
+/// node sets only (no clique table, no clique ids, no in-pass tree), so
+/// comparisons against it drop those sections.
+struct CanonicalOptions {
+  bool include_cliques = true;
+  bool include_clique_ids = true;
+  bool include_tree = true;
+};
+
+/// Deterministic line-oriented serialization of a Result. Two Results are
+/// byte-identical under the engines' output contract iff their canonical
+/// texts are equal; the check:: differential runner diffs these to pinpoint
+/// the first divergence between engines.
+std::string canonical_text(const Result& result,
+                           const CanonicalOptions& options = {});
+
+/// FNV-1a 64-bit digest of canonical_text — a cheap equality fingerprint.
+std::uint64_t canonical_digest(const Result& result,
+                               const CanonicalOptions& options = {});
+
 /// Flag names of the shared engine CLI surface (--k-min, --k-max, --engine,
 /// --threads, --memory-budget); append these to a binary's known-flag list
 /// so unknown flags still fail loudly.

@@ -1,6 +1,7 @@
 #include "io/edge_list.h"
 
 #include <algorithm>
+#include <charconv>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -8,6 +9,26 @@
 #include "common/error.h"
 
 namespace kcc {
+
+namespace {
+
+/// Parses one whitespace token as a node label. Anything that is not a
+/// plain decimal integer fitting in 64 bits — letters, signs, floats,
+/// overflow — is a hard error carrying the line number.
+std::uint64_t parse_label(const std::string& token, std::size_t line_no) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  require(ec != std::errc::result_out_of_range,
+          "read_edge_list: node id out of range on line " +
+              std::to_string(line_no) + ": '" + token + "'");
+  require(ec == std::errc() && ptr == token.data() + token.size(),
+          "read_edge_list: non-numeric node id on line " +
+              std::to_string(line_no) + ": '" + token + "'");
+  return value;
+}
+
+}  // namespace
 
 NodeId LabeledGraph::node_of(std::uint64_t label) const {
   const auto it = std::lower_bound(labels.begin(), labels.end(), label);
@@ -24,14 +45,20 @@ LabeledGraph read_edge_list(std::istream& in) {
     ++line_no;
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
+    // Tokenize first, then parse: a line is either empty (after comment
+    // stripping) or exactly "u v" with both tokens valid integers. Anything
+    // else — one token, three tokens, letters, overflow — throws with the
+    // line number instead of being silently skipped.
     std::istringstream ls(line);
-    std::uint64_t u, v;
-    if (!(ls >> u)) continue;  // blank or comment-only line
-    require(static_cast<bool>(ls >> v),
-            "read_edge_list: malformed line " + std::to_string(line_no));
-    std::string trailing;
-    require(!(ls >> trailing),
-            "read_edge_list: trailing tokens on line " + std::to_string(line_no));
+    std::vector<std::string> tokens;
+    for (std::string token; ls >> token;) tokens.push_back(std::move(token));
+    if (tokens.empty()) continue;  // blank or comment-only line
+    require(tokens.size() == 2,
+            "read_edge_list: expected 'u v' on line " +
+                std::to_string(line_no) + ", got " +
+                std::to_string(tokens.size()) + " token(s)");
+    const std::uint64_t u = parse_label(tokens[0], line_no);
+    const std::uint64_t v = parse_label(tokens[1], line_no);
     if (u == v) continue;  // spurious self-loop: drop
     raw_edges.emplace_back(u, v);
   }

@@ -1,0 +1,144 @@
+// Property tests for cpm::Engine option validation and edge-case behavior:
+// every engine must agree on what an empty k range, an out-of-range max_k,
+// an empty graph or a single edge *means* — not just on big healthy inputs.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "cpm/engine.h"
+#include "test_helpers.h"
+
+namespace kcc {
+namespace {
+
+using testing::complete_graph;
+using testing::make_graph;
+
+const std::vector<cpm::EngineKind> kAllEngines{
+    cpm::EngineKind::kSweep, cpm::EngineKind::kStream, cpm::EngineKind::kPerK,
+    cpm::EngineKind::kReference};
+
+cpm::Result run(cpm::EngineKind kind, const Graph& g, std::size_t min_k = 2,
+                std::size_t max_k = 0) {
+  cpm::Options options;
+  options.engine = kind;
+  options.min_k = min_k;
+  options.max_k = max_k;
+  return cpm::Engine(options).run(g);
+}
+
+TEST(EngineOptions, MinKBelowTwoRejectedByEveryEngine) {
+  for (cpm::EngineKind kind : kAllEngines) {
+    cpm::Options options;
+    options.engine = kind;
+    options.min_k = 1;
+    EXPECT_THROW(cpm::Engine{options}, Error) << cpm::engine_name(kind);
+    options.min_k = 0;
+    EXPECT_THROW(cpm::Engine{options}, Error) << cpm::engine_name(kind);
+  }
+}
+
+TEST(EngineOptions, MinCliqueSizeBelowTwoRejectedByEveryEngine) {
+  for (cpm::EngineKind kind : kAllEngines) {
+    cpm::Options options;
+    options.engine = kind;
+    options.min_clique_size = 1;
+    EXPECT_THROW(cpm::Engine{options}, Error) << cpm::engine_name(kind);
+  }
+}
+
+TEST(EngineOptions, MinKAboveMaxKYieldsEmptyResultEverywhere) {
+  const Graph g = complete_graph(6);
+  for (cpm::EngineKind kind : kAllEngines) {
+    const cpm::Result result = run(kind, g, /*min_k=*/5, /*max_k=*/3);
+    EXPECT_LT(result.cpm.max_k, result.cpm.min_k) << cpm::engine_name(kind);
+    EXPECT_TRUE(result.cpm.by_k.empty()) << cpm::engine_name(kind);
+    EXPECT_FALSE(result.has_tree) << cpm::engine_name(kind);
+  }
+}
+
+TEST(EngineOptions, MaxKAboveLargestCliqueClampsConsistently) {
+  // K5 plus a pendant edge: the largest clique is 5, so max_k=50 must clamp
+  // to 5 on every engine (the reference engine stops at the first empty k).
+  Graph g = make_graph(6, {{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 2}, {1, 3},
+                           {1, 4}, {2, 3}, {2, 4}, {3, 4}, {4, 5}});
+  for (cpm::EngineKind kind : kAllEngines) {
+    const cpm::Result result = run(kind, g, 2, 50);
+    EXPECT_EQ(result.cpm.min_k, 2u) << cpm::engine_name(kind);
+    EXPECT_EQ(result.cpm.max_k, 5u) << cpm::engine_name(kind);
+    ASSERT_TRUE(result.cpm.has_k(5)) << cpm::engine_name(kind);
+    EXPECT_EQ(result.cpm.at(5).count(), 1u) << cpm::engine_name(kind);
+    EXPECT_EQ(result.cpm.at(5).communities[0].nodes,
+              (NodeSet{0, 1, 2, 3, 4}))
+        << cpm::engine_name(kind);
+  }
+}
+
+TEST(EngineOptions, MinKAboveLargestCliqueYieldsEmptyResultEverywhere) {
+  const Graph g = complete_graph(4);
+  for (cpm::EngineKind kind : kAllEngines) {
+    const cpm::Result result = run(kind, g, /*min_k=*/9);
+    EXPECT_LT(result.cpm.max_k, result.cpm.min_k) << cpm::engine_name(kind);
+    EXPECT_TRUE(result.cpm.by_k.empty()) << cpm::engine_name(kind);
+    EXPECT_FALSE(result.has_tree) << cpm::engine_name(kind);
+  }
+}
+
+TEST(EngineOptions, EmptyGraphYieldsEmptyResultEverywhere) {
+  const Graph empty;
+  for (cpm::EngineKind kind : kAllEngines) {
+    const cpm::Result result = run(kind, empty);
+    EXPECT_TRUE(result.cpm.by_k.empty()) << cpm::engine_name(kind);
+    EXPECT_LT(result.cpm.max_k, result.cpm.min_k) << cpm::engine_name(kind);
+    EXPECT_FALSE(result.has_tree) << cpm::engine_name(kind);
+  }
+}
+
+TEST(EngineOptions, SingleEdgeAgreesAcrossEngines) {
+  const Graph g = make_graph(2, {{0, 1}});
+  for (cpm::EngineKind kind : kAllEngines) {
+    const cpm::Result result = run(kind, g);
+    const std::string label = cpm::engine_name(kind);
+    EXPECT_EQ(result.cpm.min_k, 2u) << label;
+    EXPECT_EQ(result.cpm.max_k, 2u) << label;
+    ASSERT_EQ(result.cpm.at(2).count(), 1u) << label;
+    EXPECT_EQ(result.cpm.at(2).communities[0].nodes, (NodeSet{0, 1})) << label;
+    ASSERT_TRUE(result.has_tree) << label;
+    EXPECT_EQ(result.tree.nodes().size(), 1u) << label;
+  }
+  // And byte-for-byte, through the canonical node-set projection.
+  const cpm::CanonicalOptions nodes_only{false, false, false};
+  const std::uint64_t baseline =
+      cpm::canonical_digest(run(cpm::EngineKind::kPerK, g), nodes_only);
+  for (cpm::EngineKind kind : kAllEngines) {
+    EXPECT_EQ(cpm::canonical_digest(run(kind, g), nodes_only), baseline)
+        << cpm::engine_name(kind);
+  }
+}
+
+TEST(EngineOptions, RestrictedRangeIsARestrictionOfTheFullRun) {
+  // Communities at k must not depend on the requested [min_k, max_k]
+  // window; they are intrinsic to the graph.
+  const Graph g = testing::overlapping_cliques(5, 5, 3);
+  for (cpm::EngineKind kind : kAllEngines) {
+    const cpm::Result full = run(kind, g);
+    const cpm::Result window = run(kind, g, 3, 4);
+    const std::string label = cpm::engine_name(kind);
+    ASSERT_EQ(window.cpm.min_k, 3u) << label;
+    ASSERT_EQ(window.cpm.max_k, 4u) << label;
+    for (std::size_t k = 3; k <= 4; ++k) {
+      ASSERT_EQ(window.cpm.at(k).count(), full.cpm.at(k).count())
+          << label << " k=" << k;
+      for (CommunityId id = 0; id < window.cpm.at(k).count(); ++id) {
+        EXPECT_EQ(window.cpm.at(k).communities[id].nodes,
+                  full.cpm.at(k).communities[id].nodes)
+            << label << " k=" << k;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kcc

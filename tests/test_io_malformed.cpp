@@ -1,0 +1,120 @@
+// Malformed-input hardening for the loaders: every bad line in an edge
+// list must fail loudly with the offending line number (never be silently
+// skipped), and the CSV writer must reject structural misuse. Runs under
+// the sanitize label so the parsers also get exercised under TSan/ASan.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "common/error.h"
+#include "io/csv.h"
+#include "io/edge_list.h"
+
+namespace kcc {
+namespace {
+
+LabeledGraph parse(const std::string& text) {
+  std::istringstream in(text);
+  return read_edge_list(in);
+}
+
+std::string error_of(const std::string& text) {
+  try {
+    parse(text);
+  } catch (const Error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected read_edge_list to throw on: " << text;
+  return "";
+}
+
+// ------------------------------------------------------------- edge lists
+
+TEST(EdgeListMalformed, TruncatedLineThrowsWithLineNumber) {
+  const std::string message = error_of("1 2\n3\n");
+  EXPECT_NE(message.find("line 2"), std::string::npos) << message;
+  EXPECT_NE(message.find("1 token"), std::string::npos) << message;
+}
+
+TEST(EdgeListMalformed, TrailingTokensThrow) {
+  const std::string message = error_of("1 2 3\n");
+  EXPECT_NE(message.find("line 1"), std::string::npos) << message;
+  EXPECT_NE(message.find("3 token"), std::string::npos) << message;
+}
+
+TEST(EdgeListMalformed, NonNumericIdsThrow) {
+  // These used to be silently skipped: operator>> failed on the first
+  // token and the line was treated as blank. Now each is a hard error.
+  for (const char* text :
+       {"as7018 as3356\n", "1 x\n", "-1 2\n", "1.5 2\n", "0x10 2\n"}) {
+    const std::string message = error_of(text);
+    EXPECT_NE(message.find("line 1"), std::string::npos) << text << message;
+  }
+}
+
+TEST(EdgeListMalformed, OverflowingIdThrows) {
+  const std::string message = error_of("99999999999999999999999 1\n");
+  EXPECT_NE(message.find("out of range"), std::string::npos) << message;
+  EXPECT_NE(message.find("line 1"), std::string::npos) << message;
+}
+
+TEST(EdgeListMalformed, HugeButRepresentableIdsLoad) {
+  // Labels near 2^64 are fine: they are remapped to dense ids.
+  const LabeledGraph g = parse("18446744073709551615 7018\n");
+  EXPECT_EQ(g.graph.num_nodes(), 2u);
+  EXPECT_EQ(g.graph.num_edges(), 1u);
+  EXPECT_EQ(g.node_of(18446744073709551615ull), 1u);
+}
+
+TEST(EdgeListMalformed, SelfLoopsAndDuplicatesAreDroppedSilently) {
+  // The paper's "spurious data" cleaning: well-formed but redundant lines
+  // are dropped, not errors.
+  const LabeledGraph g = parse("1 1\n1 2\n2 1\n1 2\n");
+  EXPECT_EQ(g.graph.num_nodes(), 2u);
+  EXPECT_EQ(g.graph.num_edges(), 1u);
+}
+
+TEST(EdgeListMalformed, CommentsAndBlankLinesAreIgnored) {
+  const LabeledGraph g =
+      parse("# AS topology\n\n  \n1 2 # measured 2010-04\n# 3 4\n");
+  EXPECT_EQ(g.graph.num_edges(), 1u);
+}
+
+TEST(EdgeListMalformed, GarbageAfterCommentStripIsStillChecked) {
+  const std::string message = error_of("1 oops # comment\n");
+  EXPECT_NE(message.find("line 1"), std::string::npos) << message;
+}
+
+TEST(EdgeListMalformed, MissingFileThrows) {
+  EXPECT_THROW(read_edge_list_file("/nonexistent/nope.txt"), Error);
+}
+
+// ------------------------------------------------------------------- csv
+
+TEST(CsvMalformed, EmptyHeaderRejected) {
+  EXPECT_THROW(CsvWriter{std::vector<std::string>{}}, Error);
+}
+
+TEST(CsvMalformed, ArityMismatchRejected) {
+  CsvWriter csv({"k", "count"});
+  csv.add_row({"3", "17"});
+  EXPECT_THROW(csv.add_row({"4"}), Error);
+  EXPECT_THROW(csv.add_row({"4", "9", "extra"}), Error);
+}
+
+TEST(CsvMalformed, UnwritablePathRejected) {
+  CsvWriter csv({"k"});
+  csv.add_row({"2"});
+  EXPECT_THROW(csv.save("/nonexistent/dir/out.csv"), Error);
+}
+
+TEST(CsvMalformed, QuotingSurvivesHostileCells) {
+  CsvWriter csv({"name", "note"});
+  csv.add_row({"a,b", "say \"hi\"\nbye"});
+  EXPECT_EQ(csv.to_string(),
+            "name,note\n\"a,b\",\"say \"\"hi\"\"\nbye\"\n");
+}
+
+}  // namespace
+}  // namespace kcc

@@ -22,53 +22,17 @@ namespace kcc {
 namespace {
 
 using testing::complete_graph;
+using testing::expect_differential_ok;
+using testing::expect_same_cpm;
+using testing::expect_same_tree;
 using testing::make_graph;
 using testing::overlapping_cliques;
 using testing::preferential_attachment_graph;
 using testing::random_graph;
 
-// Full structural equality, not just set equality: the stream engine
-// promises the same canonical order, ids, clique ids, clique table and
-// clique->community map as the per-k oracle.
-void expect_same_cpm(const CpmResult& oracle, const CpmResult& stream,
-                     const std::string& label) {
-  ASSERT_EQ(oracle.min_k, stream.min_k) << label;
-  ASSERT_EQ(oracle.max_k, stream.max_k) << label;
-  EXPECT_EQ(oracle.cliques, stream.cliques) << label;
-  for (std::size_t k = oracle.min_k; k <= oracle.max_k; ++k) {
-    const CommunitySet& a = oracle.at(k);
-    const CommunitySet& b = stream.at(k);
-    ASSERT_EQ(a.count(), b.count()) << label << " k=" << k;
-    for (CommunityId id = 0; id < a.count(); ++id) {
-      EXPECT_EQ(a.communities[id].nodes, b.communities[id].nodes)
-          << label << " k=" << k << " id=" << id;
-      EXPECT_EQ(a.communities[id].clique_ids, b.communities[id].clique_ids)
-          << label << " k=" << k << " id=" << id;
-      EXPECT_EQ(b.communities[id].id, id) << label << " k=" << k;
-      EXPECT_EQ(b.communities[id].k, k) << label << " k=" << k;
-    }
-    EXPECT_EQ(a.community_of_clique, b.community_of_clique)
-        << label << " k=" << k;
-  }
-}
-
-void expect_same_tree(const CommunityTree& sweep, const CommunityTree& stream,
-                      const std::string& label) {
-  ASSERT_EQ(sweep.nodes().size(), stream.nodes().size()) << label;
-  for (std::size_t i = 0; i < sweep.nodes().size(); ++i) {
-    const TreeNode& a = sweep.nodes()[i];
-    const TreeNode& b = stream.nodes()[i];
-    EXPECT_EQ(a.k, b.k) << label;
-    EXPECT_EQ(a.community_id, b.community_id) << label;
-    EXPECT_EQ(a.size, b.size) << label;
-    EXPECT_EQ(a.parent, b.parent) << label;
-    EXPECT_EQ(a.children, b.children) << label;
-    EXPECT_EQ(a.is_main, b.is_main) << label;
-  }
-}
-
 // Oracle identity + tree identity with the sweep engine, under the given
-// stream options.
+// stream options. Default-option graphs additionally go through the check::
+// differential matrix (see tests/test_helpers.h).
 void check_graph(const Graph& g, const std::string& label,
                  StreamCpmOptions options = {}) {
   CpmOptions shared;
@@ -78,6 +42,10 @@ void check_graph(const Graph& g, const std::string& label,
   const CpmResult oracle = run_cpm(g, shared);
   const StreamCpmResult stream = run_stream_cpm(g, options);
   expect_same_cpm(oracle, stream.cpm, label);
+  if (options.min_k == 2 && options.max_k == 0 &&
+      options.memory_budget == 0) {
+    expect_differential_ok(g, label);
+  }
   if (stream.cpm.max_k < stream.cpm.min_k) return;
   const SweepCpmResult sweep = run_sweep_cpm(g, shared);
   expect_same_tree(sweep.tree, stream.tree, label);

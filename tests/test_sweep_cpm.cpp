@@ -19,83 +19,30 @@ namespace kcc {
 namespace {
 
 using testing::complete_graph;
+using testing::expect_differential_ok;
+using testing::expect_nesting;
+using testing::expect_same_cpm;
+using testing::expect_same_tree;
 using testing::make_graph;
 using testing::overlapping_cliques;
 using testing::preferential_attachment_graph;
 using testing::random_graph;
-
-// Full structural equality, not just set equality: the sweep promises the
-// same canonical order, ids, clique ids and clique->community map as the
-// per-k engine.
-void expect_same_cpm(const CpmResult& oracle, const CpmResult& sweep,
-                     const std::string& label) {
-  ASSERT_EQ(oracle.min_k, sweep.min_k) << label;
-  ASSERT_EQ(oracle.max_k, sweep.max_k) << label;
-  for (std::size_t k = oracle.min_k; k <= oracle.max_k; ++k) {
-    const CommunitySet& a = oracle.at(k);
-    const CommunitySet& b = sweep.at(k);
-    ASSERT_EQ(a.count(), b.count()) << label << " k=" << k;
-    for (CommunityId id = 0; id < a.count(); ++id) {
-      EXPECT_EQ(a.communities[id].nodes, b.communities[id].nodes)
-          << label << " k=" << k << " id=" << id;
-      EXPECT_EQ(a.communities[id].clique_ids, b.communities[id].clique_ids)
-          << label << " k=" << k << " id=" << id;
-      EXPECT_EQ(b.communities[id].id, id) << label << " k=" << k;
-      EXPECT_EQ(b.communities[id].k, k) << label << " k=" << k;
-    }
-    EXPECT_EQ(a.community_of_clique, b.community_of_clique)
-        << label << " k=" << k;
-  }
-}
-
-// Every community at level k > min_k must nest inside the community its
-// tree parent points at, and the parent must live exactly one level below.
-void expect_nesting(const CpmResult& cpm, const CommunityTree& tree,
-                    const std::string& label) {
-  ASSERT_EQ(tree.min_k(), cpm.min_k) << label;
-  ASSERT_EQ(tree.max_k(), cpm.max_k) << label;
-  for (std::size_t k = cpm.min_k; k <= cpm.max_k; ++k) {
-    ASSERT_EQ(tree.level(k).size(), cpm.at(k).count()) << label << " k=" << k;
-    for (int idx : tree.level(k)) {
-      const TreeNode& node = tree.nodes()[idx];
-      EXPECT_EQ(node.k, k) << label;
-      EXPECT_EQ(node.size, cpm.at(k).communities[node.community_id].size())
-          << label << " k=" << k;
-      if (k == cpm.min_k) {
-        EXPECT_LT(node.parent, 0) << label << " bottom level has no parent";
-        continue;
-      }
-      ASSERT_GE(node.parent, 0) << label << " k=" << k;
-      const TreeNode& parent = tree.nodes()[node.parent];
-      EXPECT_EQ(parent.k, k - 1) << label;
-      EXPECT_TRUE(is_subset(cpm.at(k).communities[node.community_id].nodes,
-                            cpm.at(k - 1).communities[parent.community_id].nodes))
-          << label << " k=" << k << " id=" << node.community_id;
-    }
-  }
-}
 
 void check_graph(const Graph& g, const std::string& label,
                  CpmOptions options = {}) {
   const CpmResult oracle = run_cpm(g, options);
   const SweepCpmResult sweep = run_sweep_cpm(g, options);
   expect_same_cpm(oracle, sweep.cpm, label);
+  // Default-option graphs additionally go through the check:: differential
+  // matrix (every engine × threads × budgets + the invariant oracles).
+  if (options.min_k == 2 && options.max_k == 0) {
+    expect_differential_ok(g, label);
+  }
   if (sweep.cpm.max_k < sweep.cpm.min_k) return;  // nothing to arrange
   expect_nesting(sweep.cpm, sweep.tree, label);
 
   // from_levels (in-pass) must agree with the post-hoc construction.
-  const CommunityTree rebuilt = CommunityTree::build(oracle);
-  ASSERT_EQ(rebuilt.nodes().size(), sweep.tree.nodes().size()) << label;
-  for (std::size_t i = 0; i < rebuilt.nodes().size(); ++i) {
-    const TreeNode& a = rebuilt.nodes()[i];
-    const TreeNode& b = sweep.tree.nodes()[i];
-    EXPECT_EQ(a.k, b.k) << label;
-    EXPECT_EQ(a.community_id, b.community_id) << label;
-    EXPECT_EQ(a.size, b.size) << label;
-    EXPECT_EQ(a.parent, b.parent) << label;
-    EXPECT_EQ(a.children, b.children) << label;
-    EXPECT_EQ(a.is_main, b.is_main) << label;
-  }
+  expect_same_tree(CommunityTree::build(oracle), sweep.tree, label);
 }
 
 // ------------------------------------------------ sweep vs per-k oracle
