@@ -1,10 +1,22 @@
 // Microbenchmarks: the graph substrate underneath everything — degeneracy
 // peeling (Bron–Kerbosch front end and the k-core baseline), connected
-// components (k=2 percolation fast path), triangle counting, and induced
-// subgraphs (tag analysis).
+// components (k=2 percolation fast path), triangle counting, edge tests,
+// and induced subgraphs (tag analysis).
+//
+// Special mode:
+//   perf_graph --verify-has-edge
+// the has_edge micro-benchmark assertion: checks the galloping edge test
+// against a naive linear-scan reference on hub/star/ecosystem/random
+// fixtures (positive, negative, boundary and out-of-range queries), times
+// a query sweep, and exits non-zero on any disagreement. Registered as the
+// tier-1 ctest perf_graph_verify_has_edge.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <iostream>
+
 #include "common/rng.h"
+#include "common/timer.h"
 #include "graph/clustering.h"
 #include "graph/degeneracy.h"
 #include "graph/graph_algorithms.h"
@@ -81,6 +93,135 @@ void BM_EcosystemGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_EcosystemGeneration)->Unit(benchmark::kMillisecond);
 
+void BM_HasEdge_Ecosystem(benchmark::State& state) {
+  const Graph& g = ecosystem_graph();
+  Rng rng(11);
+  std::vector<std::pair<NodeId, NodeId>> queries;
+  for (int i = 0; i < 4096; ++i) {
+    queries.emplace_back(static_cast<NodeId>(rng.next_below(g.num_nodes())),
+                         static_cast<NodeId>(rng.next_below(g.num_nodes())));
+  }
+  std::size_t hits = 0;
+  for (auto _ : state) {
+    for (const auto& [u, v] : queries) hits += g.has_edge(u, v) ? 1 : 0;
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_HasEdge_Ecosystem);
+
+// ------------------------------------------------------ --verify-has-edge
+
+// Naive reference: scan the full adjacency list of u.
+bool has_edge_naive(const Graph& g, NodeId u, NodeId v) {
+  if (u >= g.num_nodes() || v >= g.num_nodes() || u == v) return false;
+  for (const NodeId w : g.neighbors(u)) {
+    if (w == v) return true;
+  }
+  return false;
+}
+
+int verify_has_edge() {
+  struct Fixture {
+    std::string name;
+    Graph graph;
+  };
+  std::vector<Fixture> fixtures;
+  {
+    // Hub: node 0 adjacent to everyone — the galloping case. The probe
+    // always runs on the degree-1 side, but querying hub-to-hub after
+    // adding a clique among high ids exercises long-list search too.
+    GraphBuilder b(4000);
+    for (NodeId v = 1; v < 4000; ++v) b.add_edge(0, v);
+    for (NodeId v = 3990; v < 4000; ++v) {
+      for (NodeId w = v + 1; w < 4000; ++w) b.add_edge(v, w);
+    }
+    fixtures.push_back({"hub", b.build()});
+  }
+  {
+    // Star chain: short lists, exercises the linear-scan path.
+    GraphBuilder b(64);
+    for (NodeId v = 1; v < 64; ++v) b.add_edge(v - 1, v);
+    fixtures.push_back({"chain", b.build()});
+  }
+  fixtures.push_back(
+      {"ecosystem",
+       generate_ecosystem(SynthParams::test_scale()).topology.graph});
+  {
+    Rng rng(5);
+    GraphBuilder b(500);
+    for (int e = 0; e < 6000; ++e) {
+      const auto u = static_cast<NodeId>(rng.next_below(500));
+      const auto v = static_cast<NodeId>(rng.next_below(500));
+      if (u != v) b.add_edge(u, v);
+    }
+    b.ensure_nodes(500);
+    fixtures.push_back({"random", b.build()});
+  }
+
+  std::size_t checked = 0;
+  for (const Fixture& fixture : fixtures) {
+    const Graph& g = fixture.graph;
+    const std::size_t n = g.num_nodes();
+    // Every real edge, in both orientations.
+    for (const auto& [u, v] : g.edges()) {
+      if (!g.has_edge(u, v) || !g.has_edge(v, u)) {
+        std::cerr << "verify-has-edge: FAIL on " << fixture.name
+                  << ": missing edge (" << u << ", " << v << ")\n";
+        return 1;
+      }
+      checked += 2;
+    }
+    // Random queries (mostly negative), self-loops, boundaries, out of
+    // range — all against the naive reference.
+    Rng rng(99);
+    std::vector<std::pair<NodeId, NodeId>> probes;
+    for (int i = 0; i < 20000; ++i) {
+      probes.emplace_back(static_cast<NodeId>(rng.next_below(n)),
+                          static_cast<NodeId>(rng.next_below(n)));
+    }
+    for (NodeId v = 0; v < std::min<std::size_t>(n, 64); ++v) {
+      probes.emplace_back(v, v);                              // self-loop
+      probes.emplace_back(v, 0);                              // boundary low
+      probes.emplace_back(v, static_cast<NodeId>(n - 1));     // boundary high
+      probes.emplace_back(v, static_cast<NodeId>(n));         // out of range
+      probes.emplace_back(static_cast<NodeId>(n + 17), v);    // out of range
+    }
+    for (const auto& [u, v] : probes) {
+      if (g.has_edge(u, v) != has_edge_naive(g, u, v)) {
+        std::cerr << "verify-has-edge: FAIL on " << fixture.name << ": ("
+                  << u << ", " << v << ") galloping="
+                  << g.has_edge(u, v) << " naive=" << has_edge_naive(g, u, v)
+                  << "\n";
+        return 1;
+      }
+      ++checked;
+    }
+    // Micro-benchmark assertion: time the sweep so a pathological
+    // regression (e.g. accidental O(degree) scan on hubs) is visible in
+    // the test log.
+    Timer timer;
+    std::size_t hits = 0;
+    for (const auto& [u, v] : probes) hits += g.has_edge(u, v) ? 1 : 0;
+    std::cout << "verify-has-edge: " << fixture.name << ": " << probes.size()
+              << " probes in " << timer.seconds() * 1e3 << " ms (" << hits
+              << " hits)\n";
+  }
+  std::cout << "verify-has-edge: OK — " << checked << " queries agree with "
+            << "the naive reference\n";
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--verify-has-edge") == 0) {
+      return verify_has_edge();
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

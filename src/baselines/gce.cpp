@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "clique/bron_kerbosch.h"
+#include "clique/enumerator.h"
 #include "common/error.h"
 #include "common/set_ops.h"
 #include "metrics/community_metrics.h"
@@ -44,7 +44,9 @@ std::vector<NodeSet> greedy_clique_expansion(const Graph& g,
                                              const GceOptions& options) {
   require(options.min_clique_size >= 2,
           "greedy_clique_expansion: min_clique_size must be >= 2");
-  std::vector<NodeSet> seeds = maximal_cliques(g, options.min_clique_size);
+  clique::Options copt;
+  copt.min_size = options.min_clique_size;
+  std::vector<NodeSet> seeds = clique::Enumerator(g, copt).collect();
   // Largest seeds first (GCE processes seeds in decreasing size).
   std::sort(seeds.begin(), seeds.end(), [](const NodeSet& a, const NodeSet& b) {
     return a.size() != b.size() ? a.size() > b.size() : a < b;

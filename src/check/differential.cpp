@@ -4,6 +4,7 @@
 #include <sstream>
 #include <vector>
 
+#include "clique/enumerator.h"
 #include "common/error.h"
 #include "cpm/stream_cpm.h"
 #include "obs/metrics.h"
@@ -17,39 +18,67 @@ struct Variant {
   bool node_sets_only = false;  // reference engine: no cliques / map / tree
 };
 
-// One option group: a k range plus every engine/thread/budget combination
-// that must agree on it. The baseline is variants.front().
+// One option group: a k range plus every engine/thread/budget/backend
+// combination that must agree on it. The baseline is variants.front().
+// The historical engine×threads×spill variants pin the sparse clique
+// kernel; the backend axis then crosses bitset and auto against them, so a
+// single group proves both percolation equivalence (same backend, different
+// engines) and kernel equivalence (same engine, different backends).
 std::vector<Variant> build_matrix(std::size_t min_k, std::size_t max_k,
                                   const Graph& g, const DiffOptions& diff) {
   const std::string suffix =
       max_k == 0 ? "" : "/k" + std::to_string(min_k) + "-" + std::to_string(max_k);
-  auto make = [&](const char* label, cpm::EngineKind kind,
-                  std::size_t threads) {
+  auto make = [&](const char* label, cpm::EngineKind kind, std::size_t threads,
+                  clique::Backend backend) {
     Variant v;
     v.label = std::string(label) + suffix;
     v.options.engine = kind;
     v.options.min_k = min_k;
     v.options.max_k = max_k;
     v.options.threads = threads;
+    v.options.clique_backend = backend;
     return v;
   };
+  const clique::Backend sparse = clique::Backend::kSparse;
   std::vector<Variant> matrix;
-  matrix.push_back(make("per_k/t1", cpm::EngineKind::kPerK, 1));
-  matrix.push_back(make("per_k/tN", cpm::EngineKind::kPerK, diff.threads));
-  matrix.push_back(make("sweep/t1", cpm::EngineKind::kSweep, 1));
-  matrix.push_back(make("sweep/tN", cpm::EngineKind::kSweep, diff.threads));
-  matrix.push_back(make("stream/t1", cpm::EngineKind::kStream, 1));
-  matrix.push_back(make("stream/tN", cpm::EngineKind::kStream, diff.threads));
+  matrix.push_back(make("per_k/t1", cpm::EngineKind::kPerK, 1, sparse));
+  matrix.push_back(make("per_k/tN", cpm::EngineKind::kPerK, diff.threads,
+                        sparse));
+  matrix.push_back(make("sweep/t1", cpm::EngineKind::kSweep, 1, sparse));
+  matrix.push_back(make("sweep/tN", cpm::EngineKind::kSweep, diff.threads,
+                        sparse));
+  matrix.push_back(make("stream/t1", cpm::EngineKind::kStream, 1, sparse));
+  matrix.push_back(make("stream/tN", cpm::EngineKind::kStream, diff.threads,
+                        sparse));
   {
     // Forced spill: the smallest budget the streaming engine accepts, so
     // overlap pairs round-trip through the spill files.
-    Variant v = make("stream/t1/spill", cpm::EngineKind::kStream, 1);
+    Variant v = make("stream/t1/spill", cpm::EngineKind::kStream, 1, sparse);
     v.options.memory_budget = stream_min_memory_budget();
+    matrix.push_back(v);
+  }
+  matrix.push_back(make("per_k/t1/bitset", cpm::EngineKind::kPerK, 1,
+                        clique::Backend::kBitset));
+  matrix.push_back(make("sweep/t1/bitset", cpm::EngineKind::kSweep, 1,
+                        clique::Backend::kBitset));
+  matrix.push_back(make("sweep/tN/bitset", cpm::EngineKind::kSweep,
+                        diff.threads, clique::Backend::kBitset));
+  matrix.push_back(make("stream/t1/bitset", cpm::EngineKind::kStream, 1,
+                        clique::Backend::kBitset));
+  matrix.push_back(make("stream/tN/auto", cpm::EngineKind::kStream,
+                        diff.threads, clique::Backend::kAuto));
+  {
+    // Hub fallback: a tiny universe cap forces most subproblems down the
+    // sparse path *inside* the bitset backend, exercising the per-subproblem
+    // kernel hand-off.
+    Variant v = make("sweep/t1/bitset-hub", cpm::EngineKind::kSweep, 1,
+                     clique::Backend::kBitset);
+    v.options.bitset_max_universe = 4;
     matrix.push_back(v);
   }
   if (diff.include_reference && g.num_nodes() <= diff.reference_max_nodes &&
       g.num_edges() <= diff.reference_max_edges) {
-    Variant v = make("reference", cpm::EngineKind::kReference, 1);
+    Variant v = make("reference", cpm::EngineKind::kReference, 1, sparse);
     v.options.build_tree = false;  // dropped from the comparison anyway
     v.node_sets_only = true;
     matrix.push_back(v);

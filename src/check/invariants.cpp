@@ -4,7 +4,7 @@
 #include <cmath>
 #include <sstream>
 
-#include "clique/bron_kerbosch.h"
+#include "clique/enumerator.h"
 #include "common/set_ops.h"
 #include "metrics/community_metrics.h"
 #include "metrics/overlap.h"
@@ -110,7 +110,12 @@ void check_clique_table(const Graph& g, const CpmResult& cpm,
   // the maximal cliques of g.
   if (g.num_nodes() <= options.max_nodes_for_completeness) {
     ++report.invariants_checked;
-    std::vector<NodeSet> expected = maximal_cliques(g, options.min_clique_size);
+    // The oracle pins the sparse kernel so the completeness check stays
+    // independent of whichever backend produced the table under test.
+    clique::Options copt;
+    copt.min_size = options.min_clique_size;
+    copt.backend = clique::Backend::kSparse;
+    std::vector<NodeSet> expected = clique::Enumerator(g, copt).collect();
     std::vector<NodeSet> actual = cpm.cliques;
     std::sort(expected.begin(), expected.end());
     std::sort(actual.begin(), actual.end());

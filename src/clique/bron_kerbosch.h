@@ -5,6 +5,13 @@
 // 2,730,916 maximal cliques in its AS topology with 88 % of sizes in
 // [18:28]; all k-clique communities are derived from the maximal-clique set
 // (see cpm/cpm.h for why that is sound).
+//
+// DEPRECATED INTERFACE. The std::function-based entry points below are thin
+// wrappers kept for source compatibility; the enumeration itself lives
+// behind clique::Enumerator (clique/enumerator.h), which adds the
+// sparse/bitset backend knob and the allocation-free CliqueSink reporting
+// path. New code should construct an Enumerator; see docs/ALGORITHMS.md for
+// the migration recipe.
 #pragma once
 
 #include <cstddef>
@@ -18,6 +25,8 @@ namespace kcc {
 
 /// Visitor invoked once per maximal clique. The referenced set is sorted and
 /// only valid for the duration of the call.
+/// Deprecated: prefer a CliqueSink callable taking std::span<const NodeId>
+/// (clique/enumerator.h) — no std::function indirection on the hot path.
 using CliqueVisitor = std::function<void(const NodeSet&)>;
 
 /// Enumerates every maximal clique of `g` with at least `min_size` nodes.

@@ -1,52 +1,63 @@
 #include "clique/clique_stream.h"
 
 #include <algorithm>
+#include <atomic>
 #include <vector>
 
 #include "clique/bron_kerbosch_internal.h"
+#include "clique/enumerator.h"
 #include "common/error.h"
-#include "graph/degeneracy.h"
 #include "obs/log.h"
 #include "obs/trace.h"
 
 namespace kcc {
+namespace clique::detail {
 namespace {
 
 // One window's enumeration state: a contiguous range of degeneracy
-// positions and their per-position result slots. Tasks never share slots,
-// so the window needs no locking and its drain order is
-// scheduling-independent.
-struct Window {
-  std::size_t first = 0;                   // first degeneracy position
-  std::vector<std::vector<NodeSet>> slots;  // one per position in range
+// positions, their per-position clique batches, and the self-scheduling
+// cursor its jobs claim ranges from. Jobs never share slots, so the window
+// needs no locking beyond the cursor and its drain order is
+// scheduling-independent. Scratch buffers are per job *and* per window —
+// the two in-flight windows may enumerate concurrently (window w's last
+// jobs still running while window w+1's begin), so they must not share.
+struct StreamWindow {
+  std::size_t first = 0;  // first degeneracy position
+  std::size_t count = 0;  // positions in this window
+  std::vector<CliqueBatch> slots;
+  std::vector<SubproblemScratch> scratch;
+  std::atomic<std::size_t> cursor{0};
 };
 
-void launch_window(const Graph& g, const DegeneracyResult& deg,
-                   std::size_t min_size, std::size_t first, std::size_t last,
-                   Window& window, TaskGroup& group) {
+void launch_window(const EnumContext& ctx, std::size_t first, std::size_t last,
+                   StreamWindow& window, TaskGroup& group) {
   window.first = first;
-  window.slots.assign(last - first, {});
-  // Chunked submission: a handful of jobs per worker keeps load balanced
-  // without paying one std::function per vertex subproblem.
-  const std::size_t count = last - first;
-  const std::size_t num_jobs =
-      std::min(count, std::max<std::size_t>(group.pool().thread_count() * 4, 1));
-  const std::size_t chunk = (count + num_jobs - 1) / num_jobs;
+  window.count = last - first;
+  window.slots.assign(window.count, {});
+  window.cursor.store(0, std::memory_order_relaxed);
+  // Small grain: within a window, subproblem costs vary by orders of
+  // magnitude, and a stalled window delays the whole drain pipeline.
+  constexpr std::size_t kGrain = 4;
+  const std::size_t ranges = (window.count + kGrain - 1) / kGrain;
+  const std::size_t num_jobs = std::max<std::size_t>(
+      1, std::min(group.pool().thread_count(), ranges));
+  if (window.scratch.size() < num_jobs) window.scratch.resize(num_jobs);
   for (std::size_t j = 0; j < num_jobs; ++j) {
-    const std::size_t lo = first + j * chunk;
-    const std::size_t hi = std::min(last, lo + chunk);
-    if (lo >= hi) break;
-    group.run([&g, &deg, min_size, lo, hi, &window] {
-      for (std::size_t pos = lo; pos < hi; ++pos) {
-        auto& slot = window.slots[pos - window.first];
-        enumerate_vertex_subproblem(
-            g, deg, deg.order[pos],
-            [&](const NodeSet& clique) {
-              NodeSet sorted = clique;
-              std::sort(sorted.begin(), sorted.end());
-              slot.push_back(std::move(sorted));
-            },
-            min_size);
+    group.run([&ctx, &window, j] {
+      SubproblemScratch& scratch = window.scratch[j];
+      for (;;) {
+        const std::size_t begin =
+            window.cursor.fetch_add(kGrain, std::memory_order_relaxed);
+        if (begin >= window.count) return;
+        const std::size_t end = std::min(window.count, begin + kGrain);
+        for (std::size_t off = begin; off < end; ++off) {
+          CliqueBatch& slot = window.slots[off];
+          auto into_slot = [&slot](std::span<const NodeId> clique) {
+            slot.add(clique);
+          };
+          const CliqueSinkRef sink(into_slot);
+          enumerate_vertex_subproblem(ctx, window.first + off, scratch, sink);
+        }
       }
     });
   }
@@ -54,39 +65,32 @@ void launch_window(const Graph& g, const DegeneracyResult& deg,
 
 }  // namespace
 
-std::size_t stream_maximal_cliques(const Graph& g, ThreadPool& pool,
-                                   const CliqueStreamOptions& options,
-                                   const StreamCliqueVisitor& visit,
-                                   const StreamWindowVisitor& window_done) {
-  require(options.min_size >= 1,
-          "stream_maximal_cliques: min_size must be >= 1");
+std::size_t stream_enumerate(const EnumContext& ctx, ThreadPool& pool,
+                             std::size_t window_positions,
+                             const CliqueSinkRef& sink,
+                             const WindowFn& window_done) {
+  require(window_positions >= 1,
+          "stream_enumerate: window_positions must be >= 1");
   KCC_SPAN("clique/stream_enumerate");
-  const DegeneracyResult deg = degeneracy_order(g);
-  const std::size_t n = g.num_nodes();
-  std::size_t window = options.window_positions;
-  if (window == 0) {
-    // Enough positions that every worker gets several chunks per window,
-    // small enough that two windows of slots stay a modest fraction of the
-    // full clique table on large graphs.
-    window = std::clamp<std::size_t>(pool.thread_count() * 256, 1024, 16384);
-  }
+  const std::size_t n = ctx.g.num_nodes();
+  const std::size_t window = window_positions;
   const std::size_t num_windows = n == 0 ? 0 : (n + window - 1) / window;
 
-  Window buffers[2];
+  StreamWindow buffers[2];
   TaskGroup groups[2] = {TaskGroup(pool), TaskGroup(pool)};
   auto launch = [&](std::size_t w) {
     const std::size_t first = w * window;
-    launch_window(g, deg, options.min_size, first, std::min(n, first + window),
-                  buffers[w % 2], groups[w % 2]);
+    launch_window(ctx, first, std::min(n, first + window), buffers[w % 2],
+                  groups[w % 2]);
   };
 
   if (num_windows > 0) launch(0);
   for (std::size_t w = 0; w < num_windows; ++w) {
     if (w + 1 < num_windows) launch(w + 1);  // enumerate ahead
     groups[w % 2].wait();
-    Window& current = buffers[w % 2];
-    for (auto& slot : current.slots) {
-      for (auto& clique : slot) visit(std::move(clique));
+    StreamWindow& current = buffers[w % 2];
+    for (const CliqueBatch& slot : current.slots) {
+      slot.for_each(sink);
     }
     current.slots.clear();
     current.slots.shrink_to_fit();
@@ -96,6 +100,26 @@ std::size_t stream_maximal_cliques(const Graph& g, ThreadPool& pool,
                   << num_windows << " windows of " << window << " on "
                   << pool.thread_count() << " threads";
   return num_windows;
+}
+
+}  // namespace clique::detail
+
+std::size_t stream_maximal_cliques(const Graph& g, ThreadPool& pool,
+                                   const CliqueStreamOptions& options,
+                                   const StreamCliqueVisitor& visit,
+                                   const StreamWindowVisitor& window_done) {
+  require(options.min_size >= 1,
+          "stream_maximal_cliques: min_size must be >= 1");
+  clique::Options opts;
+  opts.min_size = options.min_size;
+  opts.window_positions = options.window_positions;
+  const clique::Enumerator e(g, opts);
+  return e.stream(
+      pool,
+      [&](std::span<const NodeId> clique) {
+        visit(NodeSet(clique.begin(), clique.end()));
+      },
+      window_done ? clique::WindowFn(window_done) : clique::WindowFn{});
 }
 
 }  // namespace kcc

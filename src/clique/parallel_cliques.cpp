@@ -1,50 +1,66 @@
 #include "clique/parallel_cliques.h"
 
-#include <algorithm>
+#include <vector>
 
 #include "clique/bron_kerbosch_internal.h"
-#include "graph/degeneracy.h"
+#include "clique/enumerator.h"
 #include "obs/log.h"
 #include "obs/trace.h"
 
 namespace kcc {
+namespace clique::detail {
 
-std::vector<NodeSet> parallel_maximal_cliques(const Graph& g, ThreadPool& pool,
-                                              std::size_t min_size) {
+std::vector<NodeSet> collect_parallel(const EnumContext& ctx,
+                                      ThreadPool& pool) {
   KCC_SPAN("clique/parallel_enumerate");
-  const DegeneracyResult deg = degeneracy_order(g);
-  const std::size_t n = g.num_nodes();
-  // One result slot per ordering position; tasks never share slots, so no
-  // locking is needed and the merge order is scheduling-independent.
-  std::vector<std::vector<NodeSet>> slots(n);
+  const std::size_t n = ctx.g.num_nodes();
+  // One batch per ordering position; tasks never share slots, so no locking
+  // is needed and the merge order is scheduling-independent. Subproblems are
+  // claimed dynamically because their costs are wildly uneven (a hub's
+  // subtree can outweigh thousands of stubs).
+  std::vector<CliqueBatch> slots(n);
+  std::vector<SubproblemScratch> scratch(
+      std::max<std::size_t>(pool.thread_count(), 1));
 
-  parallel_for(pool, n, [&](std::size_t pos) {
-    const NodeId v = deg.order[pos];
-    auto& slot = slots[pos];
-    enumerate_vertex_subproblem(
-        g, deg, v,
-        [&](const NodeSet& clique) {
-          NodeSet sorted = clique;
-          std::sort(sorted.begin(), sorted.end());
-          slot.push_back(std::move(sorted));
-        },
-        min_size);
-  });
+  parallel_for_dynamic(
+      pool, n, /*grain=*/16,
+      [&](std::size_t worker, std::size_t begin, std::size_t end) {
+        SubproblemScratch& s = scratch[worker];
+        for (std::size_t pos = begin; pos < end; ++pos) {
+          CliqueBatch& slot = slots[pos];
+          auto into_slot = [&slot](std::span<const NodeId> clique) {
+            slot.add(clique);
+          };
+          const CliqueSinkRef sink(into_slot);
+          enumerate_vertex_subproblem(ctx, pos, s, sink);
+        }
+      });
 
   std::size_t total = 0;
-  for (const auto& slot : slots) total += slot.size();
+  for (const CliqueBatch& slot : slots) total += slot.size();
   std::vector<NodeSet> out;
   out.reserve(total);
   {
     KCC_SPAN("clique/merge_slots");
-    for (auto& slot : slots) {
-      for (auto& clique : slot) out.push_back(std::move(clique));
+    for (const CliqueBatch& slot : slots) {
+      slot.for_each([&](std::span<const NodeId> clique) {
+        out.emplace_back(clique.begin(), clique.end());
+      });
     }
   }
   KCC_LOG(kDebug) << "parallel_maximal_cliques: " << out.size()
                   << " cliques from " << n << " subproblems on "
                   << pool.thread_count() << " threads";
   return out;
+}
+
+}  // namespace clique::detail
+
+std::vector<NodeSet> parallel_maximal_cliques(const Graph& g, ThreadPool& pool,
+                                              std::size_t min_size) {
+  clique::Options options;
+  options.min_size = min_size;
+  return clique::Enumerator(g, options).collect(pool);
 }
 
 }  // namespace kcc

@@ -127,4 +127,28 @@ void parallel_for(ThreadPool& pool, std::size_t count,
   pool.wait_idle();
 }
 
+void parallel_for_dynamic(
+    ThreadPool& pool, std::size_t count, std::size_t grain,
+    const std::function<void(std::size_t worker, std::size_t begin,
+                             std::size_t end)>& fn) {
+  if (count == 0) return;
+  grain = std::max<std::size_t>(grain, 1);
+  const std::size_t ranges = (count + grain - 1) / grain;
+  const std::size_t jobs =
+      std::max<std::size_t>(1, std::min(pool.thread_count(), ranges));
+  std::atomic<std::size_t> cursor{0};
+  TaskGroup group(pool);
+  for (std::size_t worker = 0; worker < jobs; ++worker) {
+    group.run([&fn, &cursor, count, grain, worker] {
+      for (;;) {
+        const std::size_t begin =
+            cursor.fetch_add(grain, std::memory_order_relaxed);
+        if (begin >= count) return;
+        fn(worker, begin, std::min(count, begin + grain));
+      }
+    });
+  }
+  group.wait();
+}
+
 }  // namespace kcc

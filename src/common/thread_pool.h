@@ -87,4 +87,17 @@ class TaskGroup {
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& fn);
 
+/// Work-stealing variant for loops with wildly uneven iteration costs (the
+/// clique enumerator's vertex subproblems span orders of magnitude): one
+/// long-lived job per pool worker self-schedules `grain`-sized ranges off a
+/// shared atomic cursor, so a worker that drew cheap ranges immediately
+/// claims more instead of idling behind a statically assigned chunk.
+/// fn(worker, begin, end) is called with worker in [0, thread_count()) —
+/// distinct concurrent calls always see distinct worker ids, so `worker`
+/// can index per-worker scratch. Blocks until all iterations complete.
+void parallel_for_dynamic(
+    ThreadPool& pool, std::size_t count, std::size_t grain,
+    const std::function<void(std::size_t worker, std::size_t begin,
+                             std::size_t end)>& fn);
+
 }  // namespace kcc

@@ -4,7 +4,7 @@
 #include <sstream>
 #include <utility>
 
-#include "clique/parallel_cliques.h"
+#include "clique/enumerator.h"
 #include "common/error.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -72,6 +72,8 @@ StreamCpmOptions stream_options(const Options& options) {
   stream.threads = options.threads;
   stream.memory_budget = options.memory_budget;
   stream.spill_dir = options.spill_dir;
+  stream.clique_backend = options.clique_backend;
+  stream.bitset_max_universe = options.bitset_max_universe;
   return stream;
 }
 
@@ -156,7 +158,11 @@ Result Engine::run(const Graph& g) const {
   {
     KCC_SPAN("cpm_engine/cliques");
     ThreadPool pool(options_.threads);
-    cliques = parallel_maximal_cliques(g, pool, options_.min_clique_size);
+    clique::Options copt;
+    copt.min_size = options_.min_clique_size;
+    copt.backend = options_.clique_backend;
+    copt.bitset_max_universe = options_.bitset_max_universe;
+    cliques = clique::Enumerator(g, copt).collect(pool);
   }
   const double cliques_seconds = cliques_timer.seconds();
   Result result = run_on_cliques(g, std::move(cliques));
@@ -293,8 +299,9 @@ std::uint64_t canonical_digest(const Result& result,
 }
 
 const std::vector<std::string>& engine_cli_flags() {
-  static const std::vector<std::string> flags{"k-min", "k-max", "engine",
-                                              "threads", "memory-budget"};
+  static const std::vector<std::string> flags{
+      "k-min", "k-max", "engine", "threads", "memory-budget",
+      "clique-backend"};
   return flags;
 }
 
@@ -312,6 +319,10 @@ Options options_from_cli(const CliArgs& args, Options defaults) {
   if (args.has("memory-budget")) {
     options.memory_budget =
         parse_memory_budget(args.get_string("memory-budget", "0"));
+  }
+  if (args.has("clique-backend")) {
+    options.clique_backend =
+        clique::parse_backend(args.get_string("clique-backend", "auto"));
   }
   return options;
 }

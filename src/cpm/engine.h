@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "clique/enumerator.h"
 #include "common/cli.h"
 #include "cpm/community_tree.h"
 #include "cpm/cpm.h"
@@ -67,6 +68,18 @@ struct Options {
   std::size_t threads = 0;
 
   EngineKind engine = EngineKind::kSweep;
+
+  /// Which maximal-clique kernel feeds the percolation (all engines except
+  /// reference, which enumerates k-cliques itself). `auto` picks bitset for
+  /// any graph dense enough to profit; `sparse` is the historical merge
+  /// kernel. Output is byte-identical across backends (canonical_digest
+  /// does not depend on this knob — check::differential proves it).
+  clique::Backend clique_backend = clique::Backend::kAuto;
+
+  /// Bitset backend only: subproblems with more candidates than this fall
+  /// back to the sparse kernel (0 = library default; see
+  /// clique::Options::bitset_max_universe).
+  std::size_t bitset_max_universe = 0;
 
   /// Streaming engine only: cap on resident overlap-pair bytes; 0 means
   /// unlimited. Non-zero budgets below stream_min_memory_budget() are
@@ -152,13 +165,13 @@ std::uint64_t canonical_digest(const Result& result,
                                const CanonicalOptions& options = {});
 
 /// Flag names of the shared engine CLI surface (--k-min, --k-max, --engine,
-/// --threads, --memory-budget); append these to a binary's known-flag list
-/// so unknown flags still fail loudly.
+/// --threads, --memory-budget, --clique-backend); append these to a
+/// binary's known-flag list so unknown flags still fail loudly.
 const std::vector<std::string>& engine_cli_flags();
 
 /// Applies the shared engine flags on top of `defaults`:
 ///   --k-min=N --k-max=N --engine=sweep|stream|per_k|reference --threads=N
-///   --memory-budget=BYTES[K|M|G]
+///   --memory-budget=BYTES[K|M|G] --clique-backend=auto|sparse|bitset
 Options options_from_cli(const CliArgs& args, Options defaults = {});
 
 }  // namespace kcc::cpm

@@ -10,7 +10,7 @@
 #include <string>
 #include <utility>
 
-#include "clique/clique_stream.h"
+#include "clique/enumerator.h"
 #include "common/error.h"
 #include "common/thread_pool.h"
 #include "common/union_find.h"
@@ -386,12 +386,17 @@ StreamCpmResult run_stream_cpm(const Graph& g,
   {
     KCC_SPAN("stream_cpm/enumerate_join");
     ThreadPool pool(options.threads);
-    CliqueStreamOptions stream;
-    stream.min_size = options.min_clique_size;
-    stream.window_positions = options.window_positions;
-    stream_maximal_cliques(
-        g, pool, stream,
-        [&](NodeSet&& clique) { percolator.add_clique(std::move(clique)); },
+    clique::Options copt;
+    copt.min_size = options.min_clique_size;
+    copt.backend = options.clique_backend;
+    copt.bitset_max_universe = options.bitset_max_universe;
+    copt.window_positions = options.window_positions;
+    const clique::Enumerator enumerator(g, copt);
+    enumerator.stream(
+        pool,
+        [&](std::span<const NodeId> clique) {
+          percolator.add_clique(NodeSet(clique.begin(), clique.end()));
+        },
         [&](std::size_t) { percolator.on_window(); });
   }
   return percolator.finish();

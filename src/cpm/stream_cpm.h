@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "clique/enumerator.h"
 #include "cpm/community_tree.h"
 #include "cpm/cpm.h"
 #include "graph/graph.h"
@@ -68,6 +69,13 @@ struct StreamCpmOptions {
 
   /// Degeneracy positions per enumeration window; 0 picks a default.
   std::size_t window_positions = 0;
+
+  /// Maximal-clique kernel for the enumeration stage; output is identical
+  /// across backends (see clique/enumerator.h).
+  clique::Backend clique_backend = clique::Backend::kAuto;
+
+  /// Bitset backend only: hub-fallback universe cap (0 = library default).
+  std::size_t bitset_max_universe = 0;
 };
 
 /// Instrumentation snapshot of one streaming run (the same values are

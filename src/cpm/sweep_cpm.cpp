@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "clique/parallel_cliques.h"
+#include "clique/enumerator.h"
 #include "common/error.h"
 #include "common/thread_pool.h"
 #include "common/union_find.h"
@@ -170,7 +170,9 @@ SweepCpmResult run_sweep_cpm_on_cliques(const Graph& g,
 SweepCpmResult run_sweep_cpm(const Graph& g, const CpmOptions& options) {
   require(options.min_k >= 2, "run_sweep_cpm: min_k must be >= 2");
   ThreadPool pool(options.threads);
-  std::vector<NodeSet> cliques = parallel_maximal_cliques(g, pool, 2);
+  clique::Options copt;
+  copt.min_size = 2;
+  std::vector<NodeSet> cliques = clique::Enumerator(g, copt).collect(pool);
   return run_sweep_cpm_on_cliques(g, std::move(cliques), options);
 }
 

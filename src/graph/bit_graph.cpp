@@ -1,0 +1,101 @@
+#include "graph/bit_graph.h"
+
+#include <algorithm>
+
+namespace kcc {
+
+BitGraph::BitGraph(const Graph& g, const DegeneracyResult& deg)
+    : g_(g), position_of_(deg.position_of), degeneracy_(deg.degeneracy) {
+  // Degeneracy-oriented CSR: each edge lives on its earlier-position
+  // endpoint only. Positions are a permutation, so exactly one endpoint
+  // qualifies and the lists sum to num_edges(). Filtering the sorted CSR
+  // rows keeps each out-list ascending by NodeId.
+  const std::size_t n = g.num_nodes();
+  out_offsets_.assign(n + 1, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    std::size_t out = 0;
+    for (const NodeId w : g.neighbors(u)) {
+      if (position_of_[w] > position_of_[u]) ++out;
+    }
+    out_offsets_[u + 1] = out_offsets_[u] + out;
+  }
+  out_adj_.resize(out_offsets_[n]);
+  for (NodeId u = 0; u < n; ++u) {
+    std::size_t cursor = out_offsets_[u];
+    for (const NodeId w : g.neighbors(u)) {
+      if (position_of_[w] > position_of_[u]) out_adj_[cursor++] = w;
+    }
+  }
+}
+
+SubproblemBits BitGraph::prepare(NodeId v, Scratch& scratch) const {
+  const std::span<const NodeId> members = g_.neighbors(v);
+  const std::size_t s = members.size();
+  const std::size_t words = (s + 63) / 64;
+
+  SubproblemBits sub;
+  sub.members = members;
+  sub.words = words;
+  if (s == 0) return sub;  // isolated vertex: the kernel emits {v} directly
+
+  // Membership bitmap: bit u set iff u is a member of the *current*
+  // subproblem, in which case local[u] is its local index. The bitmap is
+  // kept clean between subproblems by clearing exactly the bits set here
+  // before returning.
+  const std::size_t bitmap_words = (g_.num_nodes() + 63) / 64;
+  if (scratch.member_bits.size() < bitmap_words) {
+    scratch.member_bits.assign(bitmap_words, 0ULL);
+    scratch.local.resize(g_.num_nodes());
+  }
+  std::uint64_t* const member_bits = scratch.member_bits.data();
+  for (std::size_t i = 0; i < s; ++i) {
+    member_bits[members[i] / 64] |= 1ULL << (members[i] % 64);
+    scratch.local[members[i]] = static_cast<std::uint32_t>(i);
+  }
+
+  // Row blocks: row i = adjacency of members[i] restricted to members.
+  if (scratch.rows.size() < s * words) scratch.rows.resize(s * words);
+  std::fill(scratch.rows.begin(), scratch.rows.begin() + s * words, 0ULL);
+  // Kernel stack: three masks (P, X, branch) per recursion depth; depth is
+  // bounded by |P| + 1 <= s + 1.
+  const std::size_t stack_words = (s + 2) * 3 * words;
+  if (scratch.stack.size() < stack_words) scratch.stack.resize(stack_words);
+
+  std::uint64_t* p_mask = scratch.stack.data();
+  std::uint64_t* x_mask = p_mask + words;
+  std::fill(p_mask, p_mask + 2 * words, 0ULL);
+
+  const std::uint32_t pv = position_of_[v];
+  std::uint64_t* const rows = scratch.rows.data();
+  for (std::size_t i = 0; i < s; ++i) {
+    const NodeId u = members[i];
+    if (position_of_[u] > pv) {
+      p_mask[i / 64] |= 1ULL << (i % 64);
+      ++sub.p_count;
+    } else {
+      x_mask[i / 64] |= 1ULL << (i % 64);
+    }
+    // Symmetric fill: every in-subproblem edge is stored on exactly one
+    // endpoint of the degeneracy orientation, so it is found exactly once
+    // and sets both mirror bits. Scan length is bounded by the degeneracy,
+    // not the degree.
+    for (std::size_t a = out_offsets_[u]; a < out_offsets_[u + 1]; ++a) {
+      const NodeId w = out_adj_[a];
+      if ((member_bits[w / 64] >> (w % 64)) & 1ULL) {
+        const std::uint32_t j = scratch.local[w];
+        rows[i * words + j / 64] |= 1ULL << (j % 64);
+        rows[j * words + i / 64] |= 1ULL << (i % 64);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < s; ++i) {
+    member_bits[members[i] / 64] &= ~(1ULL << (members[i] % 64));
+  }
+
+  sub.rows = scratch.rows.data();
+  sub.p_mask = p_mask;
+  sub.x_mask = x_mask;
+  return sub;
+}
+
+}  // namespace kcc

@@ -1,0 +1,103 @@
+// Degeneracy-reduced bitset adjacency — the substrate of the bitset
+// Bron–Kerbosch kernel (clique/enumerator.h).
+//
+// A vertex subproblem of the degeneracy-ordered enumeration touches only the
+// closed neighbourhood of its outer vertex v: candidates P are v's neighbours
+// that come later in the degeneracy ordering, excluded X the earlier ones,
+// and the whole recursion below v intersects subsets of N(v) with each other.
+// BitGraph lowers one subproblem onto that local universe: members are
+// N(v) in ascending NodeId order (exactly the Graph CSR row, so no copy or
+// sort), and the adjacency among members is packed into row-blocked 64-bit
+// words — row i holds one bit per member j with members[i] ~ members[j].
+// Every P/X set of the recursion is then a bit mask over the members, and
+// set intersection / pivot scoring run word-parallel with popcount instead
+// of merging sorted id lists.
+//
+// The BitGraph itself is built once per enumeration (O(n) — it only snapshots
+// the degeneracy positions); the quadratic row blocks are built per
+// subproblem into caller-owned Scratch and reused across the subproblem's
+// whole recursion. Row building scans a degeneracy-oriented CSR built once
+// at construction: each edge {a, b} is stored only on its earlier-position
+// endpoint, so every in-subproblem edge is discovered exactly once (setting
+// both mirror bits) and the per-node scan length is bounded by the
+// degeneracy instead of the degree — hubs sit late in the ordering, so
+// their out-lists are short no matter how many neighbours they have.
+// Membership tests go through a NodeId-indexed bitmap (n/8 bytes, so it
+// stays cache-resident even on million-node graphs where a word-per-node
+// map would thrash); the s bits set for a subproblem are cleared again
+// before prepare() returns, so the bitmap never needs a full wipe.
+//
+// Local indices ascend with NodeId by construction, which is what keeps the
+// bitset kernel's visit order identical to the sparse merge kernel's (both
+// iterate candidates in ascending NodeId order and break pivot ties the same
+// way) — the property behind the backend-independent canonical_digest.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/degeneracy.h"
+#include "graph/graph.h"
+
+namespace kcc {
+
+/// One vertex subproblem lowered onto bit rows. Valid until the next
+/// prepare() call on the same Scratch.
+struct SubproblemBits {
+  /// N(v) in ascending NodeId order; local index i names members[i].
+  std::span<const NodeId> members;
+  /// 64-bit words per row / per mask.
+  std::size_t words = 0;
+  /// members.size() rows of `words` words each.
+  const std::uint64_t* rows = nullptr;
+  /// Depth-0 candidate mask (later neighbours); mutated by the kernel.
+  std::uint64_t* p_mask = nullptr;
+  /// Depth-0 excluded mask (earlier neighbours); mutated by the kernel.
+  std::uint64_t* x_mask = nullptr;
+  /// Bits set in p_mask at depth 0.
+  std::size_t p_count = 0;
+
+  const std::uint64_t* row(std::size_t local) const {
+    return rows + local * words;
+  }
+};
+
+class BitGraph {
+ public:
+  /// Reusable per-worker buffers. A Scratch may serve many subproblems (and
+  /// many BitGraphs) in sequence; it grows to the largest universe seen.
+  struct Scratch {
+    std::vector<std::uint64_t> rows;         // members x words row blocks
+    std::vector<std::uint64_t> stack;        // kernel P/X/branch masks per depth
+    std::vector<std::uint64_t> member_bits;  // NodeId-indexed membership bitmap
+    std::vector<std::uint32_t> local;        // NodeId -> local index (iff member)
+  };
+
+  /// Snapshots the degeneracy positions of `deg` (which must describe `g`).
+  /// Holds a reference to `g`; the graph must outlive the BitGraph.
+  BitGraph(const Graph& g, const DegeneracyResult& deg);
+
+  std::uint32_t degeneracy() const { return degeneracy_; }
+  std::uint32_t position_of(NodeId v) const { return position_of_[v]; }
+
+  /// Builds the row blocks and depth-0 P/X masks for outer vertex `v` into
+  /// `scratch`. The returned view (and the depth slots of scratch.stack the
+  /// kernel recurses into) stays valid until the next prepare() call.
+  SubproblemBits prepare(NodeId v, Scratch& scratch) const;
+
+ private:
+  const Graph& g_;
+  std::vector<std::uint32_t> position_of_;
+  // Degeneracy-oriented CSR: out_adj_[out_offsets_[u] .. out_offsets_[u+1])
+  // holds the neighbours of u with a later degeneracy position, ascending
+  // by NodeId. Out-degrees are bounded by the degeneracy; row building
+  // scans only these lists — see the header comment.
+  std::vector<std::size_t> out_offsets_;
+  std::vector<NodeId> out_adj_;
+  std::uint32_t degeneracy_ = 0;
+};
+
+}  // namespace kcc

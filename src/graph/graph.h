@@ -43,7 +43,8 @@ class Graph {
 
   std::size_t degree(NodeId v) const { return offsets_[v + 1] - offsets_[v]; }
 
-  /// Edge test by binary search over the smaller adjacency list.
+  /// Edge test over the smaller adjacency list: linear scan for short
+  /// lists, galloping (exponential bracket + binary search) for hub lists.
   bool has_edge(NodeId u, NodeId v) const;
 
   /// All edges as (u, v) pairs with u < v, ordered by (u, v).

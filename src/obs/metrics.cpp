@@ -60,6 +60,16 @@ Histogram::Histogram(std::vector<double> upper_bounds)
   }
 }
 
+void Histogram::observe_n(double value, std::uint64_t n) {
+  if (n == 0) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t bucket =
+      static_cast<std::size_t>(it - bounds_.begin());  // bounds_.size() = +Inf
+  buckets_[bucket].fetch_add(n, std::memory_order_relaxed);
+  count_.fetch_add(n, std::memory_order_relaxed);
+  sum_.fetch_add(value * static_cast<double>(n), std::memory_order_relaxed);
+}
+
 void Histogram::observe(double value) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
   const std::size_t bucket =

@@ -89,6 +89,11 @@ class Histogram {
 
   void observe(double value);
 
+  /// Records `n` observations of `value` with one bucket lookup and three
+  /// atomic adds — the batching hook for hot loops that tally locally and
+  /// flush once.
+  void observe_n(double value, std::uint64_t n);
+
   /// Upper bounds excluding the implicit +Inf bucket.
   const std::vector<double>& bounds() const { return bounds_; }
   /// Per-bucket counts; size() == bounds().size() + 1 (last is +Inf).

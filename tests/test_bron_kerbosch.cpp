@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <span>
 
 #include "clique/clique_stats.h"
+#include "clique/enumerator.h"
 #include "clique/reference_enumerator.h"
+#include "common/error.h"
 #include "test_helpers.h"
 
 namespace kcc {
@@ -152,6 +155,83 @@ TEST(CliqueStats, EmptyInput) {
   const auto stats = compute_clique_stats({});
   EXPECT_EQ(stats.count, 0u);
   EXPECT_DOUBLE_EQ(stats.fraction_in_range(1, 10), 0.0);
+}
+
+// ---------------------------------------------------- clique::Enumerator
+
+TEST(Enumerator, ParseAndNameRoundTrip) {
+  using clique::Backend;
+  EXPECT_EQ(clique::parse_backend("auto"), Backend::kAuto);
+  EXPECT_EQ(clique::parse_backend("sparse"), Backend::kSparse);
+  EXPECT_EQ(clique::parse_backend("bitset"), Backend::kBitset);
+  for (Backend b : {Backend::kAuto, Backend::kSparse, Backend::kBitset}) {
+    EXPECT_EQ(clique::parse_backend(clique::backend_name(b)), b);
+  }
+  EXPECT_THROW(clique::parse_backend("dense"), Error);
+  EXPECT_THROW(clique::parse_backend(""), Error);
+}
+
+TEST(Enumerator, AutoResolvesByDegeneracy) {
+  const clique::Options opts;  // kAuto
+  // Trees and cycles (degeneracy <= 2) have tiny subproblems where bit rows
+  // cannot pay for themselves; dense graphs resolve to the bitset kernel.
+  EXPECT_EQ(clique::Enumerator(cycle_graph(8), opts).backend(),
+            clique::Backend::kSparse);
+  EXPECT_EQ(clique::Enumerator(complete_graph(6), opts).backend(),
+            clique::Backend::kBitset);
+  // Explicit requests are never overridden.
+  clique::Options forced;
+  forced.backend = clique::Backend::kBitset;
+  EXPECT_EQ(clique::Enumerator(cycle_graph(8), forced).backend(),
+            clique::Backend::kBitset);
+}
+
+TEST(Enumerator, MinSizeZeroRejected) {
+  clique::Options opts;
+  opts.min_size = 0;
+  EXPECT_THROW(clique::Enumerator(complete_graph(3), opts), Error);
+}
+
+TEST(Enumerator, ExposesDegeneracy) {
+  const Graph g = random_graph(40, 0.2, 7);
+  const clique::Enumerator e(g);
+  EXPECT_EQ(e.degeneracy().degeneracy, degeneracy_order(g).degeneracy);
+}
+
+TEST(Enumerator, BackendsAgreeIncludingVisitOrder) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Graph g = random_graph(50, 0.1 + 0.05 * double(seed), seed);
+    clique::Options sparse;
+    sparse.backend = clique::Backend::kSparse;
+    clique::Options bitset;
+    bitset.backend = clique::Backend::kBitset;
+    // Vector equality checks contents *and* order — the deterministic
+    // degeneracy-driven visit order must not depend on the kernel.
+    EXPECT_EQ(clique::Enumerator(g, bitset).collect(),
+              clique::Enumerator(g, sparse).collect())
+        << "seed " << seed;
+  }
+}
+
+TEST(Enumerator, ForEachMatchesCollect) {
+  const Graph g = random_graph(40, 0.25, 13);
+  const clique::Enumerator e(g);
+  std::vector<NodeSet> seen;
+  e.for_each([&](std::span<const NodeId> c) {
+    seen.emplace_back(c.begin(), c.end());
+  });
+  EXPECT_EQ(seen, e.collect());
+}
+
+TEST(Enumerator, LegacyWrappersMatchFacade) {
+  const Graph g = random_graph(45, 0.2, 17);
+  EXPECT_EQ(maximal_cliques(g), clique::Enumerator(g).collect());
+  clique::Options opts;
+  opts.min_size = 3;
+  EXPECT_EQ(maximal_cliques(g, 3), clique::Enumerator(g, opts).collect());
+  std::vector<NodeSet> visited;
+  for_each_maximal_clique(g, [&](const NodeSet& c) { visited.push_back(c); });
+  EXPECT_EQ(visited, clique::Enumerator(g).collect());
 }
 
 TEST(ReferenceEnumerator, AllKCliquesOnCompleteGraph) {

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+
+#include "clique/enumerator.h"
+#include "common/thread_pool.h"
+#include "synth/as_topology.h"
 #include "test_helpers.h"
 
 namespace kcc {
@@ -116,6 +121,90 @@ TEST(Degeneracy, KCoreMembershipProperty) {
       std::size_t inside = 0;
       for (NodeId w : g.neighbors(v)) inside += in_core[w] ? 1 : 0;
       EXPECT_GE(inside, k) << "node " << v << " k " << k;
+    }
+  }
+}
+
+// ----------------------------------------- explicit core-number fixtures
+
+// Star: every node (hub included) peels at degree 1.
+TEST(DegeneracyFixtures, StarCoreNumbers) {
+  GraphBuilder b(10);
+  for (NodeId v = 1; v < 10; ++v) b.add_edge(0, v);
+  const auto r = degeneracy_order(b.build());
+  EXPECT_EQ(r.degeneracy, 1u);
+  for (auto c : r.core_number) EXPECT_EQ(c, 1u);
+}
+
+// Complete graphs: K_n is the canonical (n-1)-core.
+TEST(DegeneracyFixtures, CompleteGraphCoreNumbers) {
+  for (std::size_t n : {2u, 3u, 5u, 8u}) {
+    const auto r = degeneracy_order(complete_graph(n));
+    EXPECT_EQ(r.degeneracy, n - 1) << "K" << n;
+    for (auto c : r.core_number) EXPECT_EQ(c, n - 1) << "K" << n;
+  }
+}
+
+// Chain of K5s, consecutive cliques sharing one node: every node still
+// peels inside its own clique, so all core numbers are 4.
+TEST(DegeneracyFixtures, CliqueChainCoreNumbers) {
+  GraphBuilder b;
+  const std::size_t cliques = 4, size = 5;
+  for (std::size_t c = 0; c < cliques; ++c) {
+    const NodeId base = static_cast<NodeId>(c * (size - 1));
+    for (NodeId i = 0; i < size; ++i) {
+      for (NodeId j = i + 1; j < size; ++j) {
+        b.add_edge(base + i, base + j);
+      }
+    }
+  }
+  const auto r = degeneracy_order(b.build());
+  EXPECT_EQ(r.degeneracy, 4u);
+  for (auto c : r.core_number) EXPECT_EQ(c, 4u);
+}
+
+// The ordering invariant (each node has at most `degeneracy` later
+// neighbours) on every fixture class, including a mini AS ecosystem.
+TEST(DegeneracyFixtures, OrderingInvariantAcrossFixtures) {
+  std::vector<Graph> graphs;
+  graphs.push_back(complete_graph(6));
+  graphs.push_back(cycle_graph(9));
+  graphs.push_back(testing::overlapping_cliques(6, 5, 2));
+  graphs.push_back(
+      generate_ecosystem(SynthParams::test_scale()).topology.graph);
+  for (const Graph& g : graphs) {
+    const auto r = degeneracy_order(g);
+    for (NodeId v : r.order) {
+      std::size_t later = 0;
+      for (NodeId w : g.neighbors(v)) {
+        if (r.position_of[w] > r.position_of[v]) ++later;
+      }
+      EXPECT_LE(later, r.degeneracy);
+    }
+  }
+}
+
+// The degeneracy-driven clique visit order is a function of the graph
+// alone: identical across kernels and thread counts, on a realistic
+// hub-heavy topology.
+TEST(DegeneracyFixtures, DeterministicVisitOrderAcrossBackends) {
+  const Graph g =
+      generate_ecosystem(SynthParams::test_scale()).topology.graph;
+  clique::Options sparse;
+  sparse.backend = clique::Backend::kSparse;
+  const auto expected = clique::Enumerator(g, sparse).collect();
+  ASSERT_FALSE(expected.empty());
+
+  for (clique::Backend backend :
+       {clique::Backend::kAuto, clique::Backend::kBitset}) {
+    clique::Options opts;
+    opts.backend = backend;
+    const clique::Enumerator e(g, opts);
+    EXPECT_EQ(e.collect(), expected) << clique::backend_name(backend);
+    for (std::size_t threads : {2u, 4u}) {
+      ThreadPool pool(threads);
+      EXPECT_EQ(e.collect(pool), expected)
+          << clique::backend_name(backend) << " threads " << threads;
     }
   }
 }

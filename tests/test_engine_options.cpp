@@ -140,5 +140,58 @@ TEST(EngineOptions, RestrictedRangeIsARestrictionOfTheFullRun) {
   }
 }
 
+TEST(EngineOptions, CliqueBackendParsedFromCli) {
+  const char* argv[] = {"prog", "--engine=sweep", "--clique-backend=bitset"};
+  const CliArgs args(3, argv, cpm::engine_cli_flags());
+  const cpm::Options options = cpm::options_from_cli(args);
+  EXPECT_EQ(options.clique_backend, clique::Backend::kBitset);
+
+  const char* dflt[] = {"prog"};
+  EXPECT_EQ(cpm::options_from_cli(CliArgs(1, dflt, cpm::engine_cli_flags()))
+                .clique_backend,
+            clique::Backend::kAuto);
+
+  const char* bad[] = {"prog", "--clique-backend=dense"};
+  EXPECT_THROW(
+      cpm::options_from_cli(CliArgs(2, bad, cpm::engine_cli_flags())), Error);
+}
+
+TEST(EngineOptions, CliqueBackendDigestInvariantAcrossEngines) {
+  // The backend knob must never change any engine's output. Within one
+  // engine the *full* digest (clique table and tree included) must be
+  // backend-independent; across engines the canonical node-set projection
+  // must agree too (the reference engine has no clique table of its own).
+  const Graph g = testing::overlapping_cliques(6, 5, 3);
+  const cpm::CanonicalOptions nodes_only{false, false, false};
+  std::uint64_t cross_engine_baseline = 0;
+  bool have_baseline = false;
+  for (cpm::EngineKind kind : kAllEngines) {
+    std::uint64_t full_baseline = 0;
+    bool have_full = false;
+    for (clique::Backend backend :
+         {clique::Backend::kAuto, clique::Backend::kSparse,
+          clique::Backend::kBitset}) {
+      cpm::Options options;
+      options.engine = kind;
+      options.clique_backend = backend;
+      const cpm::Result result = cpm::Engine(options).run(g);
+      const std::uint64_t full = cpm::canonical_digest(result);
+      if (!have_full) {
+        full_baseline = full;
+        have_full = true;
+      }
+      EXPECT_EQ(full, full_baseline)
+          << cpm::engine_name(kind) << " / " << clique::backend_name(backend);
+      const std::uint64_t nodes = cpm::canonical_digest(result, nodes_only);
+      if (!have_baseline) {
+        cross_engine_baseline = nodes;
+        have_baseline = true;
+      }
+      EXPECT_EQ(nodes, cross_engine_baseline)
+          << cpm::engine_name(kind) << " / " << clique::backend_name(backend);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace kcc

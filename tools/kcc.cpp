@@ -64,6 +64,11 @@ int usage() {
       "  --memory-budget=BYTES[K|M|G]\n"
       "           stream engine only: cap resident overlap-pair bytes,\n"
       "           spilling buckets to temp files past the cap (0 = off)\n"
+      "  --clique-backend=auto|sparse|bitset\n"
+      "           maximal-clique kernel: bitset packs each degeneracy\n"
+      "           subproblem into 64-bit rows (word-parallel, the fast\n"
+      "           path); sparse is the sorted-merge kernel; auto (default)\n"
+      "           picks per graph — output is identical either way\n"
       "\n"
       "observability flags (accepted by every command):\n"
       "  --log-level=off|error|warn|info|debug|trace\n"
