@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/report.h"
+
 namespace kcc::bench {
 
 class Json {
@@ -75,5 +77,21 @@ class Json {
 
   std::vector<std::pair<std::string, std::string>> fields_;
 };
+
+/// The run manifest (obs/report.h) as a Json node, so every BENCH_*.json
+/// snapshot records which build + host produced it:
+///   doc.add("manifest", manifest_json(obs::collect_manifest("perf_cpm")));
+inline Json manifest_json(const obs::RunManifest& m) {
+  Json out;
+  out.add("git_sha", m.git_sha + (m.git_dirty ? "+dirty" : ""));
+  out.add("build_type", m.build_type);
+  out.add("compiler", m.compiler);
+  out.add("sanitize", m.sanitize);
+  out.add("cpu_model", m.cpu_model);
+  out.add("cpu_logical_cores", static_cast<std::uint64_t>(m.cpu_logical_cores));
+  out.add("hostname", m.hostname);
+  out.add("hw_counters", m.hw_counters);
+  return out;
+}
 
 }  // namespace kcc::bench

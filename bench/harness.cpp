@@ -18,7 +18,7 @@ std::string default_metrics_path(const char* argv0) {
 
 HarnessConfig parse_harness_args(int argc, char** argv) {
   std::vector<std::string> known{"scale", "seed", "log-level", "trace-out",
-                                 "metrics-out"};
+                                 "metrics-out", "report-out"};
   for (const std::string& flag : cpm::engine_cli_flags()) {
     known.push_back(flag);
   }
@@ -45,6 +45,11 @@ HarnessConfig parse_harness_args(int argc, char** argv) {
                                ? args.get_string("metrics-out", "")
                                : default_metrics_path(argc > 0 ? argv[0]
                                                                : nullptr);
+  config.obs.report_out = args.get_string("report-out", "");
+  config.obs.tool =
+      argc > 0 && argv[0] != nullptr && *argv[0] != '\0'
+          ? std::filesystem::path(argv[0]).filename().string()
+          : "";
   return config;
 }
 

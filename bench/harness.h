@@ -6,11 +6,13 @@
 // flags --k-min/--k-max/--engine/--threads (cpm::engine_cli_flags) select
 // the percolation engine; the sweep engine is the default.
 //
-// Observability: each harness accepts --log-level=, --trace-out=FILE and
-// --metrics-out=FILE (see docs/OBSERVABILITY.md). Unless disabled with an
-// explicit empty --metrics-out=, every run writes a metrics sidecar next to
-// the working directory (<binary>.metrics.json) so experiment records carry
-// their counters.
+// Observability: each harness accepts --log-level=, --trace-out=FILE,
+// --metrics-out=FILE and --report-out=FILE (see docs/OBSERVABILITY.md; any
+// FILE may be - for stdout). Unless disabled with an explicit empty
+// --metrics-out=, every run writes a metrics sidecar next to the working
+// directory (<binary>.metrics.json) so experiment records carry their
+// counters. --report-out additionally captures the full run report:
+// build/host manifest, per-stage wall + hw counters + RSS, metrics.
 #pragma once
 
 #include <iostream>

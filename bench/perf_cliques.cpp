@@ -201,6 +201,8 @@ int bench_json(const std::string& json_path) {
   graph.add("edges", g.num_edges());
   bench::Json doc;
   doc.add("bench", "perf_cliques --bench-json");
+  doc.add("manifest",
+          bench::manifest_json(obs::collect_manifest("perf_cliques")));
   doc.add("rounds", static_cast<std::uint64_t>(kRounds));
   doc.add("graph", graph);
   doc.add_array("runs", runs);
@@ -405,6 +407,8 @@ int scaling(const ScalingConfig& config) {
 
   bench::Json doc;
   doc.add("bench", "perf_cliques --scaling");
+  doc.add("manifest",
+          bench::manifest_json(obs::collect_manifest("perf_cliques")));
   doc.add("rounds", static_cast<std::uint64_t>(config.rounds));
   doc.add("peak_rss_mb",
           static_cast<double>(obs::peak_rss_bytes()) / (1024.0 * 1024.0));

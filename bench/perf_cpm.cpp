@@ -486,6 +486,7 @@ int verify_stream(const std::string& json_path) {
   derived.add("stream_over_sweep_wall_ratio", wall_ratio);
   bench::Json doc;
   doc.add("bench", "perf_cpm --verify-stream");
+  doc.add("manifest", bench::manifest_json(obs::collect_manifest("perf_cpm")));
   doc.add("rounds", static_cast<std::uint64_t>(kRounds));
   doc.add("graph", graph);
   doc.add_array("runs", runs);

@@ -12,6 +12,7 @@
 #include "cpm/stream_cpm.h"
 #include "cpm/sweep_cpm.h"
 #include "cpm/weighted_cpm.h"
+#include "obs/report.h"
 #include "obs/trace.h"
 
 namespace kcc::cpm {
@@ -121,11 +122,15 @@ Result Engine::run(const Graph& g) const {
     Timer total;
     Result result;
     result.engine = EngineKind::kReference;
-    result.cpm = collect_per_k(options_, [&](std::size_t k) {
-      return reference_k_clique_communities(g, k);
-    });
+    {
+      obs::StageScope stage("percolate");
+      result.cpm = collect_per_k(options_, [&](std::size_t k) {
+        return reference_k_clique_communities(g, k);
+      });
+    }
     result.timings.percolate_seconds = total.lap();
     if (options_.build_tree && result.cpm.max_k >= result.cpm.min_k) {
+      obs::StageScope stage("tree");
       result.tree = CommunityTree::build(result.cpm);
       result.has_tree = true;
       result.timings.tree_seconds = total.lap();
@@ -142,7 +147,10 @@ Result Engine::run(const Graph& g) const {
     Timer total;
     Result result;
     result.engine = EngineKind::kStream;
-    StreamCpmResult stream = run_stream_cpm(g, stream_options(options_));
+    StreamCpmResult stream = [&] {
+      obs::StageScope stage("percolate");
+      return run_stream_cpm(g, stream_options(options_));
+    }();
     result.cpm = std::move(stream.cpm);
     result.timings.percolate_seconds = total.lap();
     if (options_.build_tree && result.cpm.max_k >= result.cpm.min_k) {
@@ -157,6 +165,7 @@ Result Engine::run(const Graph& g) const {
   std::vector<NodeSet> cliques;
   {
     KCC_SPAN("cpm_engine/cliques");
+    obs::StageScope stage("cliques");
     ThreadPool pool(options_.threads);
     clique::Options copt;
     copt.min_size = options_.min_clique_size;
@@ -182,7 +191,10 @@ Result Engine::run_on_cliques(const Graph& g,
   const CpmOptions legacy = options_.cpm_options();
   if (options_.engine == EngineKind::kSweep) {
     KCC_SPAN("cpm_engine/sweep");
-    SweepCpmResult sweep = run_sweep_cpm_on_cliques(g, std::move(cliques), legacy);
+    SweepCpmResult sweep = [&] {
+      obs::StageScope stage("percolate");
+      return run_sweep_cpm_on_cliques(g, std::move(cliques), legacy);
+    }();
     result.cpm = std::move(sweep.cpm);
     result.timings.percolate_seconds = total.lap();
     if (options_.build_tree && result.cpm.max_k >= result.cpm.min_k) {
@@ -192,8 +204,11 @@ Result Engine::run_on_cliques(const Graph& g,
     }
   } else if (options_.engine == EngineKind::kStream) {
     KCC_SPAN("cpm_engine/stream");
-    StreamCpmResult stream = run_stream_cpm_on_cliques(
-        g, std::move(cliques), stream_options(options_));
+    StreamCpmResult stream = [&] {
+      obs::StageScope stage("percolate");
+      return run_stream_cpm_on_cliques(g, std::move(cliques),
+                                       stream_options(options_));
+    }();
     result.cpm = std::move(stream.cpm);
     result.timings.percolate_seconds = total.lap();
     if (options_.build_tree && result.cpm.max_k >= result.cpm.min_k) {
@@ -202,9 +217,13 @@ Result Engine::run_on_cliques(const Graph& g,
     }
   } else {
     KCC_SPAN("cpm_engine/per_k");
-    result.cpm = run_cpm_on_cliques(g, std::move(cliques), legacy);
+    {
+      obs::StageScope stage("percolate");
+      result.cpm = run_cpm_on_cliques(g, std::move(cliques), legacy);
+    }
     result.timings.percolate_seconds = total.lap();
     if (options_.build_tree && result.cpm.max_k >= result.cpm.min_k) {
+      obs::StageScope stage("tree");
       result.tree = CommunityTree::build(result.cpm);
       result.has_tree = true;
       result.timings.tree_seconds = total.lap();
@@ -219,6 +238,7 @@ Result Engine::run_weighted(const Graph& g, const EdgeWeights& weights) const {
   Timer total;
   Result result;
   result.engine = options_.engine;
+  obs::StageScope stage("percolate");
   result.cpm = collect_per_k(options_, [&](std::size_t k) {
     WeightedCpmOptions weighted;
     weighted.k = k;

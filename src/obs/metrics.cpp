@@ -87,6 +87,33 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
   return out;
 }
 
+double Histogram::quantile(double q) const {
+  require(q >= 0.0 && q <= 1.0, "Histogram::quantile: q must be in [0, 1]");
+  const std::vector<std::uint64_t> counts = bucket_counts();
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  // Rank of the target observation (1-based, ceil'd so q=1 hits the last).
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const std::uint64_t next = cumulative + counts[i];
+    if (static_cast<double>(next) >= target) {
+      if (i == bounds_.size()) return bounds_.back();  // +Inf clamps
+      const double upper = bounds_[i];
+      const double lower =
+          i == 0 ? std::min(0.0, upper) : bounds_[i - 1];
+      const double into_bucket =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(counts[i]);
+      return lower + (upper - lower) * into_bucket;
+    }
+    cumulative = next;
+  }
+  return bounds_.back();
+}
+
 void Histogram::reset() {
   for (std::size_t i = 0; i <= bounds_.size(); ++i) {
     buckets_[i].store(0, std::memory_order_relaxed);
@@ -215,7 +242,11 @@ void MetricsRegistry::write_json(std::ostream& out) const {
     first = false;
     write_json_string(out, name);
     out << ":{\"count\":" << h->count()
-        << ",\"sum\":" << format_double(h->sum()) << ",\"buckets\":[";
+        << ",\"sum\":" << format_double(h->sum())
+        << ",\"p50\":" << format_double(h->quantile(0.50))
+        << ",\"p90\":" << format_double(h->quantile(0.90))
+        << ",\"p99\":" << format_double(h->quantile(0.99))
+        << ",\"buckets\":[";
     const auto counts = h->bucket_counts();
     for (std::size_t i = 0; i < counts.size(); ++i) {
       if (i > 0) out << ",";

@@ -98,6 +98,15 @@ class Histogram {
   const std::vector<double>& bounds() const { return bounds_; }
   /// Per-bucket counts; size() == bounds().size() + 1 (last is +Inf).
   std::vector<std::uint64_t> bucket_counts() const;
+
+  /// Quantile estimate (q in [0, 1]), linearly interpolated within the
+  /// fixed buckets (Prometheus histogram_quantile style: the first bucket
+  /// interpolates from 0 — or from its lower bound when bounds go
+  /// negative — and observations in +Inf clamp to the largest finite
+  /// bound). Returns 0 when the histogram is empty. The JSON export emits
+  /// p50/p90/p99 through this, so run reports need no downstream bucket
+  /// math.
+  double quantile(double q) const;
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
   void reset();

@@ -1,11 +1,35 @@
 #include "obs/obs.h"
 
 #include <fstream>
+#include <iostream>
 
 #include "common/error.h"
 #include "common/timer.h"
 
 namespace kcc::obs {
+namespace {
+
+// Runs `write(stream)` against `path`, where "-" selects stdout. File
+// errors throw with `what` naming the artifact.
+template <typename WriteFn>
+void write_artifact(const std::string& path, const char* what,
+                    WriteFn&& write) {
+  if (path == "-") {
+    write(std::cout);
+    std::cout.flush();
+    require(std::cout.good(),
+            std::string("obs: failed writing ") + what + " to stdout");
+    return;
+  }
+  std::ofstream out(path);
+  require(out.good(), std::string("obs: cannot write ") + what + " file " +
+                          path);
+  write(out);
+  require(out.good(), std::string("obs: failed writing ") + what + " file " +
+                          path);
+}
+
+}  // namespace
 
 void configure(const ObsOptions& options) {
   if (!options.log_level.empty()) {
@@ -14,10 +38,22 @@ void configure(const ObsOptions& options) {
   if (!options.trace_out.empty()) {
     Tracer::instance().set_enabled(true);
   }
+  if (!options.report_out.empty()) {
+    RunRecorder::instance().set_enabled(true);
+  }
 }
 
 void finish(const ObsOptions& options) {
   Timer timer;  // lap() per artifact: export cost is itself worth seeing
+  const std::size_t dropped = Tracer::instance().dropped_count();
+  if (dropped > 0) {
+    // The tracer already counted each drop into trace_dropped_spans_total;
+    // say it out loud too: a trace silently missing spans is the failure
+    // mode this warning exists for.
+    KCC_LOG(kWarn) << "tracer dropped " << dropped
+                   << " spans (per-thread buffer overflow); the exported "
+                      "trace is truncated — see trace_dropped_spans_total";
+  }
   if (!options.trace_out.empty()) {
     write_trace_file(options.trace_out);
     KCC_LOG(kInfo) << "trace written to " << options.trace_out << " ("
@@ -29,28 +65,33 @@ void finish(const ObsOptions& options) {
     KCC_LOG(kInfo) << "metrics written to " << options.metrics_out << " ("
                    << timer.lap() << "s)";
   }
+  if (!options.report_out.empty()) {
+    const RunManifest manifest =
+        collect_manifest(options.tool.empty() ? "kcc" : options.tool);
+    write_run_report_file(options.report_out, manifest);
+    KCC_LOG(kInfo) << "run report written to " << options.report_out << " ("
+                   << timer.lap() << "s)";
+  }
 }
 
 void write_trace_file(const std::string& path) {
-  std::ofstream out(path);
-  require(out.good(), "obs: cannot write trace file " + path);
-  Tracer::instance().write_chrome_trace(out);
-  out << "\n";
-  require(out.good(), "obs: failed writing trace file " + path);
+  write_artifact(path, "trace", [](std::ostream& out) {
+    Tracer::instance().write_chrome_trace(out);
+    out << "\n";
+  });
 }
 
 void write_metrics_file(const std::string& path) {
-  std::ofstream out(path);
-  require(out.good(), "obs: cannot write metrics file " + path);
   const bool prometheus =
       path.size() >= 5 && path.compare(path.size() - 5, 5, ".prom") == 0;
-  if (prometheus) {
-    metrics().write_prometheus(out);
-  } else {
-    metrics().write_json(out);
-    out << "\n";
-  }
-  require(out.good(), "obs: failed writing metrics file " + path);
+  write_artifact(path, "metrics", [prometheus](std::ostream& out) {
+    if (prometheus) {
+      metrics().write_prometheus(out);
+    } else {
+      metrics().write_json(out);
+      out << "\n";
+    }
+  });
 }
 
 }  // namespace kcc::obs

@@ -1,0 +1,88 @@
+// Hardware performance counters via perf_event_open(2).
+//
+// HwCounterSet opens one counting fd per event (cycles, instructions,
+// branch misses, cache misses, task-clock) on the calling thread with
+// inheritance, so worker threads spawned afterwards — the thread pool is
+// constructed inside every engine stage — are aggregated into the same
+// counts. Reads are cheap (one read(2) per fd), so per-stage deltas are
+// taken with HwStageScope, which also feeds the metrics registry
+// (`hw_*_total` counters) and the active RunRecorder (obs/report.h).
+//
+// Degradation is loud but graceful: when the syscall is unavailable
+// (seccomp'd containers, kernel.perf_event_paranoid, non-Linux builds) or
+// the KCC_HW_COUNTERS=off environment override is set, the set reports
+// available() == false with a human-readable reason, every read returns
+// zeros, and run reports mark the hw section `"available": false` instead
+// of failing the run. The first failed open logs one warning.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace kcc::obs {
+
+/// One snapshot (or delta) of the counter set. A counter that failed to
+/// open individually stays 0; `available` is true when at least one event
+/// is live.
+struct HwCounterValues {
+  bool available = false;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t branch_misses = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t task_clock_ns = 0;
+
+  HwCounterValues operator-(const HwCounterValues& base) const;
+  HwCounterValues& operator+=(const HwCounterValues& delta);
+};
+
+/// Number of events per set, index-aligned with hw_counter_names():
+/// cycles, instructions, branch_misses, cache_misses, task_clock_ns.
+constexpr int kHwCounterCount = 5;
+
+/// Names for the hw counter catalog, index-aligned as above.
+const char* const* hw_counter_names();
+
+class HwCounterSet {
+ public:
+  /// Opens the counters immediately. Never throws: failure leaves the set
+  /// disabled with disabled_reason() explaining why.
+  HwCounterSet();
+  ~HwCounterSet();
+
+  HwCounterSet(const HwCounterSet&) = delete;
+  HwCounterSet& operator=(const HwCounterSet&) = delete;
+
+  /// True when at least one event opened and is counting.
+  bool available() const { return available_; }
+
+  /// Why the set is disabled ("" when available). Examples:
+  /// "KCC_HW_COUNTERS=off", "perf_event_open: Permission denied
+  /// (perf_event_paranoid?)", "unsupported platform".
+  const std::string& disabled_reason() const { return disabled_reason_; }
+
+  /// Human-readable health of the set, the string run-report manifests
+  /// carry: "available" when every event counts, "software-only: ..." when
+  /// the syscall works but the hardware events never tick (cloud VMs
+  /// without a PMU — a calibration read at open time detects and closes
+  /// them), or disabled_reason() when nothing opened.
+  const std::string& status() const {
+    return available_ ? status_ : disabled_reason_;
+  }
+
+  /// Current cumulative counts since open. All-zero when disabled.
+  HwCounterValues read() const;
+
+  /// The shared process-wide set, opened on first use. Engine stage scopes
+  /// and the bench driver read deltas off this instance so counts include
+  /// inherited worker threads from the moment the process first asks.
+  static HwCounterSet& global();
+
+ private:
+  int fds_[kHwCounterCount];
+  bool available_ = false;
+  std::string disabled_reason_;
+  std::string status_;
+};
+
+}  // namespace kcc::obs

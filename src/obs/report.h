@@ -1,0 +1,143 @@
+// Run reports: one versioned JSON document per run that makes any two runs
+// comparable — manifest (git sha, build type/flags, CPU, thread budget),
+// per-stage wall times with hardware-counter deltas and RSS, and the final
+// metrics-registry snapshot.
+//
+// Three pieces:
+//   * RunManifest / collect_manifest() — the configure-time build facts
+//     (generated obs/build_info.h) joined with runtime host facts
+//     (/proc/cpuinfo model, logical cores, hostname).
+//   * RunRecorder + StageScope — engines wrap each stage (cliques /
+//     percolate / tree) in a StageScope; the scope always exports the
+//     hw-counter delta to the registry (`hw_*_total`) and, when a recorder
+//     is enabled (--report-out), appends a StageSample. Like the Tracer,
+//     the recorder is a process-global so stage producers need no plumbing.
+//   * write_run_report() — serializes everything as schema-versioned JSON
+//     (`kcc_run_report_version`), and parse_json_flat() reads any such
+//     document back as dotted-path → value maps (the kcc_bench --compare
+//     gate consumes baselines through it).
+//
+// docs/OBSERVABILITY.md documents the JSON schema.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/perf_counters.h"
+
+namespace kcc::obs {
+
+/// Schema version written into every run report / bench report. Bump when a
+/// field changes meaning; readers reject documents with a newer version.
+constexpr int kRunReportVersion = 1;
+
+/// Everything needed to attribute a measurement to a build + host + config.
+struct RunManifest {
+  std::string tool;        // producing binary, e.g. "kcc_bench"
+  std::string git_sha;     // configure-time sha, "unknown" outside a repo
+  bool git_dirty = false;  // uncommitted changes at configure time
+  std::string build_type;  // CMAKE_BUILD_TYPE
+  std::string compiler;    // "GNU 12.2.0"
+  std::string cxx_flags;   // effective flags incl. build-type flags
+  std::string sanitize;    // KCC_SANITIZE value ("" = off)
+  std::string cpu_model;   // /proc/cpuinfo "model name" ("" elsewhere)
+  std::size_t cpu_logical_cores = 0;
+  std::string hostname;
+  std::string hw_counters;  // "available" or the disabled reason
+};
+
+/// Fills a manifest from build_info.h + the running host.
+RunManifest collect_manifest(const std::string& tool);
+
+/// Writes the manifest as one JSON object (no trailing newline).
+void write_manifest_json(std::ostream& out, const RunManifest& manifest);
+
+/// One instrumented stage: wall clock, hw-counter delta, RSS after.
+struct StageSample {
+  std::string name;
+  double wall_seconds = 0.0;
+  HwCounterValues hw;
+  std::uint64_t rss_after_bytes = 0;
+};
+
+/// Process-global collector StageScopes report into when enabled. Disabled
+/// by default (one relaxed atomic load per stage); tools enable it when the
+/// user asks for a run report.
+class RunRecorder {
+ public:
+  static RunRecorder& instance();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  void record(StageSample sample);
+  std::vector<StageSample> stages() const;
+  void clear();
+
+ private:
+  RunRecorder() = default;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<StageSample> stages_;
+};
+
+/// RAII stage instrumentation. On destruction: adds the hw-counter delta to
+/// the `hw_*_total` registry counters (when counters are live) and appends a
+/// StageSample to the RunRecorder (when enabled). Cheap when both are off:
+/// two flag loads and one clock read.
+class StageScope {
+ public:
+  explicit StageScope(const char* name);
+  ~StageScope();
+
+  StageScope(const StageScope&) = delete;
+  StageScope& operator=(const StageScope&) = delete;
+
+ private:
+  const char* name_;
+  double start_seconds_;
+  HwCounterValues start_;
+  bool hw_live_;
+  bool recording_;
+};
+
+/// Serializes the full run report: manifest, recorded stages, RSS
+/// (current + peak), hw availability, and the metrics-registry snapshot.
+void write_run_report(std::ostream& out, const RunManifest& manifest);
+
+/// write_run_report to `path` ("-" = stdout). Throws kcc::Error on I/O
+/// failure.
+void write_run_report_file(const std::string& path,
+                           const RunManifest& manifest);
+
+/// A JSON document flattened to dotted paths: {"a":{"b":[1,"x"]}} becomes
+/// numbers["a.b.0"] == 1 and strings["a.b.1"] == "x". Booleans land in
+/// numbers as 0/1; nulls are skipped.
+struct FlatJson {
+  std::map<std::string, double> numbers;
+  std::map<std::string, std::string> strings;
+
+  bool has_number(const std::string& path) const {
+    return numbers.count(path) != 0;
+  }
+  double number(const std::string& path, double fallback = 0.0) const;
+  std::string string(const std::string& path,
+                     const std::string& fallback = "") const;
+};
+
+/// Minimal JSON reader for documents this library writes (reports,
+/// baselines). Throws kcc::Error on malformed input.
+FlatJson parse_json_flat(const std::string& text);
+
+/// Reads and flattens a JSON file. Throws kcc::Error on I/O or parse error.
+FlatJson read_json_flat_file(const std::string& path);
+
+}  // namespace kcc::obs

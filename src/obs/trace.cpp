@@ -8,6 +8,8 @@
 #include <ostream>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace kcc::obs {
 
 // Per-thread span storage. Only the owning thread appends; the exporter and
@@ -62,6 +64,11 @@ void Tracer::record(const char* name, std::uint64_t start_us,
   std::lock_guard lock(buf.mutex);
   if (buf.events.size() >= kMaxEventsPerThread) {
     ++buf.dropped;
+    // Surfaced as an exported counter (and a shutdown warning in
+    // obs::finish) instead of silently truncating the Chrome trace.
+    static Counter& dropped_total =
+        metrics().counter("trace_dropped_spans_total");
+    dropped_total.inc();
     return;
   }
   SpanEvent e;

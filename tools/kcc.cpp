@@ -79,6 +79,11 @@ int usage() {
       "  --metrics-out=FILE\n"
       "           dump the metrics registry on exit (JSON, or Prometheus\n"
       "           text when FILE ends in .prom)\n"
+      "  --report-out=FILE\n"
+      "           write a versioned run report on exit: build/host manifest,\n"
+      "           per-stage wall + hardware counters + RSS, metrics snapshot\n"
+      "           (schema in docs/OBSERVABILITY.md)\n"
+      "  (every FILE above accepts - for stdout)\n"
       "\n"
       "Unknown flags are an error; see docs/OBSERVABILITY.md for the metric\n"
       "catalog.\n";
@@ -249,7 +254,7 @@ int main(int argc, char** argv) {
     std::vector<std::string> known{
         "out-dir", "scale", "seed", "edges", "min-k", "max-k", "out", "dot",
         "min-k-shown", "ixps", "countries", "geo", "log-level", "trace-out",
-        "metrics-out"};
+        "metrics-out", "report-out"};
     for (const std::string& flag : cpm::engine_cli_flags()) {
       known.push_back(flag);
     }
@@ -258,6 +263,8 @@ int main(int argc, char** argv) {
     obs_options.log_level = args.get_string("log-level", "");
     obs_options.trace_out = args.get_string("trace-out", "");
     obs_options.metrics_out = args.get_string("metrics-out", "");
+    obs_options.report_out = args.get_string("report-out", "");
+    obs_options.tool = "kcc";
     obs::configure(obs_options);
 
     int rc = 0;
