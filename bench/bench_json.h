@@ -24,6 +24,9 @@ class Json {
   Json& add(const std::string& key, const char* value) {
     return raw(key, quote(value));
   }
+  Json& add(const std::string& key, bool value) {
+    return raw(key, value ? "true" : "false");
+  }
   Json& add(const std::string& key, std::uint64_t value) {
     return raw(key, std::to_string(value));
   }

@@ -57,7 +57,7 @@ PipelineResult run_harness(const HarnessConfig& config) {
   Timer timer;
   PipelineResult result = run_pipeline(config.pipeline);
   std::cout << "[run] scale=" << config.scale
-            << " engine=" << cpm::engine_name(config.pipeline.cpm.engine)
+            << " engine=" << config.pipeline.cpm.engine
             << " seed=" << config.pipeline.synth.seed << " ases="
             << result.eco.num_ases() << " edges="
             << result.eco.topology.graph.num_edges() << " cliques="

@@ -31,7 +31,8 @@ int main(int argc, char** argv) {
     // --- cover vs partition ---
     cpm::Options cpm_options;
     if (args.has("engine")) {
-      cpm_options.engine = cpm::parse_engine(args.get_string("engine", ""));
+      cpm_options.engine = args.get_string("engine", "");
+      cpm::engine_info(cpm_options.engine);  // fail fast on unknown names
     }
     const CpmResult cpm = cpm::Engine(cpm_options).run(g).cpm;
     const KCoreDecomposition kcore = kcore_decomposition(g);

@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
     const CpmResult& cpm = result.cpm;
     std::cout << "k-clique communities (k in [" << cpm.min_k << ", "
               << cpm.max_k << "], " << cpm.total_communities() << " total, "
-              << cpm::engine_name(result.engine) << " engine):\n";
+              << result.engine_name << " engine):\n";
     for (std::size_t k = cpm.min_k; k <= cpm.max_k; ++k) {
       for (const Community& c : cpm.at(k).communities) {
         std::cout << "  k" << k << "id" << c.id << " = {";

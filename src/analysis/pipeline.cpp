@@ -35,7 +35,7 @@ PipelineResult analyze_ecosystem(AsEcosystem eco, const cpm::Options& cpm_opts) 
     result.level_stats = tree_level_stats(result.tree);
   }
   KCC_LOG(kInfo) << "pipeline: cpm+tree ("
-                 << cpm::engine_name(cpm_opts.engine) << " engine) done in "
+                 << cpm_opts.engine << " engine) done in "
                  << stage_timer.lap() << "s ("
                  << result.cpm.cliques.size() << " cliques, k in ["
                  << result.cpm.min_k << ", " << result.cpm.max_k << "], "

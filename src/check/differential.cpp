@@ -1,11 +1,13 @@
 #include "check/differential.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <sstream>
 #include <vector>
 
 #include "clique/enumerator.h"
 #include "common/error.h"
+#include "cpm/compare.h"
 #include "cpm/stream_cpm.h"
 #include "obs/metrics.h"
 
@@ -16,23 +18,28 @@ struct Variant {
   std::string label;
   cpm::Options options;
   bool node_sets_only = false;  // reference engine: no cliques / map / tree
+  bool approximate = false;     // gap-threshold mode instead of digest gate
 };
 
 // One option group: a k range plus every engine/thread/budget/backend
 // combination that must agree on it. The baseline is variants.front().
-// The historical engine×threads×spill variants pin the sparse clique
-// kernel; the backend axis then crosses bitset and auto against them, so a
-// single group proves both percolation equivalence (same backend, different
-// engines) and kernel equivalence (same engine, different backends).
+// The engine rows come from the registry: every exact, polynomial engine
+// gets t1 / tN / t1-bitset variants (pinning the sparse kernel on the
+// thread axis and crossing backends against it, so one group proves both
+// percolation equivalence and kernel equivalence), budget-capable engines
+// add a forced-spill and an auto-backend variant, and the default engine
+// adds the tN-bitset and bitset-hub crosses. Exponential oracles join on
+// tiny graphs only; approximate engines are appended last, flagged for the
+// gap gate.
 std::vector<Variant> build_matrix(std::size_t min_k, std::size_t max_k,
                                   const Graph& g, const DiffOptions& diff) {
   const std::string suffix =
       max_k == 0 ? "" : "/k" + std::to_string(min_k) + "-" + std::to_string(max_k);
-  auto make = [&](const char* label, cpm::EngineKind kind, std::size_t threads,
-                  clique::Backend backend) {
+  auto make = [&](const std::string& label, const std::string& engine,
+                  std::size_t threads, clique::Backend backend) {
     Variant v;
-    v.label = std::string(label) + suffix;
-    v.options.engine = kind;
+    v.label = label + suffix;
+    v.options.engine = engine;
     v.options.min_k = min_k;
     v.options.max_k = max_k;
     v.options.threads = threads;
@@ -40,48 +47,65 @@ std::vector<Variant> build_matrix(std::size_t min_k, std::size_t max_k,
     return v;
   };
   const clique::Backend sparse = clique::Backend::kSparse;
+  const std::string default_engine = cpm::Options{}.engine;
   std::vector<Variant> matrix;
-  matrix.push_back(make("per_k/t1", cpm::EngineKind::kPerK, 1, sparse));
-  matrix.push_back(make("per_k/tN", cpm::EngineKind::kPerK, diff.threads,
-                        sparse));
-  matrix.push_back(make("sweep/t1", cpm::EngineKind::kSweep, 1, sparse));
-  matrix.push_back(make("sweep/tN", cpm::EngineKind::kSweep, diff.threads,
-                        sparse));
-  matrix.push_back(make("stream/t1", cpm::EngineKind::kStream, 1, sparse));
-  matrix.push_back(make("stream/tN", cpm::EngineKind::kStream, diff.threads,
-                        sparse));
-  {
-    // Forced spill: the smallest budget the streaming engine accepts, so
-    // overlap pairs round-trip through the spill files.
-    Variant v = make("stream/t1/spill", cpm::EngineKind::kStream, 1, sparse);
-    v.options.memory_budget = stream_min_memory_budget();
-    matrix.push_back(v);
+  // Baseline: per_k single-threaded — the structure closest to the original
+  // LP-CPM oracle, and the variant the invariant oracles run on.
+  matrix.push_back(make("per_k/t1", "per_k", 1, sparse));
+
+  for (const cpm::EngineInfo& info : cpm::engine_registry()) {
+    if (!info.caps.exact || info.caps.exponential) continue;
+    if (info.name != "per_k") {  // baseline already holds per_k/t1
+      matrix.push_back(make(info.name + "/t1", info.name, 1, sparse));
+    }
+    matrix.push_back(
+        make(info.name + "/tN", info.name, diff.threads, sparse));
+    matrix.push_back(make(info.name + "/t1/bitset", info.name, 1,
+                          clique::Backend::kBitset));
+    if (info.caps.supports_memory_budget) {
+      // Forced spill: the smallest budget the engine accepts, so overlap
+      // pairs round-trip through the spill files.
+      Variant v = make(info.name + "/t1/spill", info.name, 1, sparse);
+      v.options.memory_budget = stream_min_memory_budget();
+      matrix.push_back(v);
+      matrix.push_back(make(info.name + "/tN/auto", info.name, diff.threads,
+                            clique::Backend::kAuto));
+    }
+    if (info.name == default_engine) {
+      matrix.push_back(make(info.name + "/tN/bitset", info.name,
+                            diff.threads, clique::Backend::kBitset));
+      // Hub fallback: a tiny universe cap forces most subproblems down the
+      // sparse path *inside* the bitset backend, exercising the
+      // per-subproblem kernel hand-off.
+      Variant v = make(info.name + "/t1/bitset-hub", info.name, 1,
+                       clique::Backend::kBitset);
+      v.options.bitset_max_universe = 4;
+      matrix.push_back(v);
+    }
   }
-  matrix.push_back(make("per_k/t1/bitset", cpm::EngineKind::kPerK, 1,
-                        clique::Backend::kBitset));
-  matrix.push_back(make("sweep/t1/bitset", cpm::EngineKind::kSweep, 1,
-                        clique::Backend::kBitset));
-  matrix.push_back(make("sweep/tN/bitset", cpm::EngineKind::kSweep,
-                        diff.threads, clique::Backend::kBitset));
-  matrix.push_back(make("stream/t1/bitset", cpm::EngineKind::kStream, 1,
-                        clique::Backend::kBitset));
-  matrix.push_back(make("stream/tN/auto", cpm::EngineKind::kStream,
-                        diff.threads, clique::Backend::kAuto));
-  {
-    // Hub fallback: a tiny universe cap forces most subproblems down the
-    // sparse path *inside* the bitset backend, exercising the per-subproblem
-    // kernel hand-off.
-    Variant v = make("sweep/t1/bitset-hub", cpm::EngineKind::kSweep, 1,
-                     clique::Backend::kBitset);
-    v.options.bitset_max_universe = 4;
-    matrix.push_back(v);
-  }
+
   if (diff.include_reference && g.num_nodes() <= diff.reference_max_nodes &&
       g.num_edges() <= diff.reference_max_edges) {
-    Variant v = make("reference", cpm::EngineKind::kReference, 1, sparse);
-    v.options.build_tree = false;  // dropped from the comparison anyway
-    v.node_sets_only = true;
-    matrix.push_back(v);
+    for (const cpm::EngineInfo& info : cpm::engine_registry()) {
+      if (!info.caps.exact || !info.caps.exponential) continue;
+      Variant v = make(info.name, info.name, 1, sparse);
+      v.options.build_tree = false;  // dropped from the comparison anyway
+      v.node_sets_only = true;
+      matrix.push_back(v);
+    }
+  }
+
+  if (diff.include_approximate) {
+    for (const cpm::EngineInfo& info : cpm::engine_registry()) {
+      if (info.caps.exact) continue;
+      for (const std::size_t threads : {std::size_t{1}, diff.threads}) {
+        Variant v = make(
+            info.name + (threads == 1 ? "/t1" : "/tN"), info.name, threads,
+            sparse);
+        v.approximate = true;
+        matrix.push_back(v);
+      }
+    }
   }
   return matrix;
 }
@@ -168,20 +192,24 @@ DiffOutcome run_differential(const Graph& g, const DiffOptions& options) {
 
   for (const auto& [min_k, max_k] : groups) {
     const std::vector<Variant> matrix = build_matrix(min_k, max_k, g, options);
-    // The last non-reference variant hosts the injected fault, so all three
-    // fault kinds (community / clique-map / tree) have a record to corrupt.
+    // The last non-reference exact variant hosts the injected fault, so all
+    // three fault kinds (community / clique-map / tree) have a record to
+    // corrupt and the digest gate must catch it.
     std::size_t fault_target = matrix.size();
     if (!fault_kind.empty()) {
       for (std::size_t i = matrix.size(); i-- > 0;) {
-        if (!matrix[i].node_sets_only) {
+        if (!matrix[i].node_sets_only && !matrix[i].approximate) {
           fault_target = i;
           break;
         }
       }
     }
 
+    cpm::Result baseline_result;     // kept for approximate-engine scoring
     std::string baseline_text;       // full canonical serialization
     std::string baseline_node_text;  // node-sets-only projection
+    // Previous approximate run per engine name: t1 vs tN must be identical.
+    std::string approx_prev_label, approx_prev_engine, approx_prev_text;
     for (std::size_t i = 0; i < matrix.size(); ++i) {
       const Variant& variant = matrix[i];
       cpm::Result result = cpm::Engine(variant.options).run(g);
@@ -212,6 +240,43 @@ DiffOutcome run_differential(const Graph& g, const DiffOptions& options) {
             outcome.failure =
                 "invariants violated on " + variant.label + ":\n" +
                 report.to_string();
+          }
+        }
+        baseline_result = std::move(result);
+        continue;
+      }
+
+      if (variant.approximate) {
+        // Gap mode: no digest gate against the baseline, but (a) the engine
+        // must be deterministic across thread counts and (b) its community
+        // F1 against the exact baseline must clear the threshold.
+        const std::string text = cpm::canonical_text(result);
+        if (approx_prev_engine == variant.options.engine) {
+          const std::string diff =
+              first_diff(approx_prev_label, approx_prev_text, variant.label,
+                         text);
+          if (!diff.empty()) {
+            mismatches_total.inc();
+            if (outcome.failure.empty()) {
+              outcome.failure = "approximate engine nondeterminism: " + diff;
+            }
+          }
+        }
+        approx_prev_label = variant.label;
+        approx_prev_engine = variant.options.engine;
+        approx_prev_text = text;
+
+        cpm::CompareOptions compare_options;
+        compare_options.min_f1 = options.approx_min_f1;
+        const cpm::Comparison gap =
+            cpm::compare_results(baseline_result, result, compare_options);
+        outcome.worst_approx_f1 =
+            std::min(outcome.worst_approx_f1, gap.worst_f1);
+        if (!gap.ok) {
+          mismatches_total.inc();
+          if (outcome.failure.empty()) {
+            outcome.failure = variant.label + " exceeds the exactness gap (" +
+                              gap.summary + ")";
           }
         }
         continue;

@@ -1,0 +1,103 @@
+#include "cpm/compare.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "metrics/similarity.h"
+#include "obs/metrics.h"
+
+namespace kcc::cpm {
+namespace {
+
+std::vector<NodeSet> node_sets_at(const Result& result, std::size_t k) {
+  std::vector<NodeSet> sets;
+  if (!result.cpm.has_k(k)) return sets;
+  for (const Community& c : result.cpm.at(k).communities) {
+    sets.push_back(c.nodes);
+  }
+  return sets;
+}
+
+double mean_best_jaccard(const std::vector<NodeSet>& from,
+                         const std::vector<NodeSet>& to) {
+  if (from.empty()) return 1.0;  // nothing to match is a perfect match
+  double sum = 0.0;
+  for (const BestMatch& m : best_matches(from, to)) sum += m.jaccard;
+  return sum / static_cast<double>(from.size());
+}
+
+void publish_gap_metrics(const Comparison& comparison) {
+  obs::MetricsRegistry& reg = obs::metrics();
+  reg.counter("cpm_gap_compares_total").inc();
+  if (!comparison.ok) reg.counter("cpm_gap_failures_total").inc();
+  obs::Histogram& f1_hist = reg.histogram(
+      "cpm_gap_f1_permille", obs::Histogram::linear_bounds(900.0, 10.0, 11));
+  for (const LevelGap& level : comparison.levels) {
+    f1_hist.observe(level.f1 * 1000.0);
+  }
+  reg.gauge("cpm_gap_worst_f1_permille")
+      .set(static_cast<std::int64_t>(comparison.worst_f1 * 1000.0));
+}
+
+}  // namespace
+
+Comparison compare_results(const Result& baseline, const Result& candidate,
+                           const CompareOptions& options) {
+  Comparison out;
+  const CpmResult& a = baseline.cpm;
+  const CpmResult& b = candidate.cpm;
+
+  if (a.min_k != b.min_k || a.max_k != b.max_k) {
+    out.ok = false;
+    out.worst_f1 = 0.0;
+    std::ostringstream text;
+    text << "k-range mismatch: baseline [" << a.min_k << ", " << a.max_k
+         << "] vs candidate [" << b.min_k << ", " << b.max_k << "]";
+    out.summary = text.str();
+    if (options.publish_metrics) publish_gap_metrics(out);
+    return out;
+  }
+
+  out.identical = true;
+  for (std::size_t k = a.min_k; k <= a.max_k && a.max_k >= a.min_k; ++k) {
+    const std::vector<NodeSet> sets_a = node_sets_at(baseline, k);
+    const std::vector<NodeSet> sets_b = node_sets_at(candidate, k);
+    LevelGap level;
+    level.k = k;
+    level.communities_baseline = sets_a.size();
+    level.communities_candidate = sets_b.size();
+    if (sets_a == sets_b) {
+      // Equal canonical-ordered node sets: perfect level, defaults stand.
+    } else {
+      out.identical = false;
+      level.recall = mean_best_jaccard(sets_a, sets_b);
+      level.precision = mean_best_jaccard(sets_b, sets_a);
+      level.f1 = (level.recall + level.precision) > 0.0
+                     ? 2.0 * level.recall * level.precision /
+                           (level.recall + level.precision)
+                     : 0.0;
+    }
+    if (out.levels.empty() || level.f1 < out.worst_f1) {
+      out.worst_f1 = level.f1;
+      out.worst_k = k;
+    }
+    out.levels.push_back(level);
+  }
+
+  out.ok = out.worst_f1 >= options.min_f1;
+  std::ostringstream text;
+  text << baseline.engine_name << " vs " << candidate.engine_name << ": "
+       << (out.identical ? "identical node sets"
+                         : "worst community F1 " +
+                               std::to_string(out.worst_f1) + " at k=" +
+                               std::to_string(out.worst_k))
+       << " over " << out.levels.size() << " levels ("
+       << (out.ok ? "ok" : "below threshold") << ", min_f1="
+       << options.min_f1 << ")";
+  out.summary = text.str();
+
+  if (options.publish_metrics) publish_gap_metrics(out);
+  return out;
+}
+
+}  // namespace kcc::cpm

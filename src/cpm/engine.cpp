@@ -1,6 +1,9 @@
 #include "cpm/engine.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <filesystem>
 #include <sstream>
 #include <utility>
 
@@ -8,6 +11,7 @@
 #include "common/error.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "cpm/almost_cpm.h"
 #include "cpm/reference_cpm.h"
 #include "cpm/stream_cpm.h"
 #include "cpm/sweep_cpm.h"
@@ -78,7 +82,234 @@ StreamCpmOptions stream_options(const Options& options) {
   return stream;
 }
 
+// Adopts a sweep-shaped {cpm, tree} pair into a Result, honoring build_tree.
+template <typename SweepShaped>
+Result adopt_sweep_result(const Options& options, SweepShaped shaped,
+                          Timer& total) {
+  Result result;
+  result.cpm = std::move(shaped.cpm);
+  result.timings.percolate_seconds = total.lap();
+  if (options.build_tree && result.cpm.max_k >= result.cpm.min_k) {
+    // The engine built the tree in the same pass; adopt it.
+    result.tree = std::move(shaped.tree);
+    result.has_tree = true;
+  }
+  result.timings.total_seconds = total.seconds();
+  return result;
+}
+
+// ------------------------------------------------- registry run hooks
+
+Result run_reference_full(const Options& options, const Graph& g) {
+  KCC_SPAN("cpm_engine/reference");
+  Timer total;
+  Result result;
+  {
+    obs::StageScope stage("percolate");
+    result.cpm = collect_per_k(options, [&](std::size_t k) {
+      return reference_k_clique_communities(g, k);
+    });
+  }
+  result.timings.percolate_seconds = total.lap();
+  if (options.build_tree && result.cpm.max_k >= result.cpm.min_k) {
+    obs::StageScope stage("tree");
+    result.tree = CommunityTree::build(result.cpm);
+    result.has_tree = true;
+    result.timings.tree_seconds = total.lap();
+  }
+  result.timings.total_seconds = total.seconds();
+  return result;
+}
+
+Result run_stream_full(const Options& options, const Graph& g) {
+  // The streaming engine pipelines enumeration with the overlap join, so
+  // there is no separate clique stage to time: cliques_seconds stays 0
+  // and percolate_seconds covers the fused pass.
+  KCC_SPAN("cpm_engine/stream");
+  Timer total;
+  StreamCpmResult stream = [&] {
+    obs::StageScope stage("percolate");
+    return run_stream_cpm(g, stream_options(options));
+  }();
+  return adopt_sweep_result(options, std::move(stream), total);
+}
+
+Result run_sweep_cliques(const Options& options, const Graph& g,
+                         std::vector<NodeSet> cliques) {
+  KCC_SPAN("cpm_engine/sweep");
+  Timer total;
+  SweepCpmResult sweep = [&] {
+    obs::StageScope stage("percolate");
+    return run_sweep_cpm_on_cliques(g, std::move(cliques),
+                                    options.cpm_options());
+  }();
+  return adopt_sweep_result(options, std::move(sweep), total);
+}
+
+Result run_stream_cliques(const Options& options, const Graph& g,
+                          std::vector<NodeSet> cliques) {
+  KCC_SPAN("cpm_engine/stream");
+  Timer total;
+  StreamCpmResult stream = [&] {
+    obs::StageScope stage("percolate");
+    return run_stream_cpm_on_cliques(g, std::move(cliques),
+                                     stream_options(options));
+  }();
+  return adopt_sweep_result(options, std::move(stream), total);
+}
+
+Result run_per_k_cliques(const Options& options, const Graph& g,
+                         std::vector<NodeSet> cliques) {
+  KCC_SPAN("cpm_engine/per_k");
+  Timer total;
+  Result result;
+  {
+    obs::StageScope stage("percolate");
+    result.cpm =
+        run_cpm_on_cliques(g, std::move(cliques), options.cpm_options());
+  }
+  result.timings.percolate_seconds = total.lap();
+  if (options.build_tree && result.cpm.max_k >= result.cpm.min_k) {
+    obs::StageScope stage("tree");
+    result.tree = CommunityTree::build(result.cpm);
+    result.has_tree = true;
+    result.timings.tree_seconds = total.lap();
+  }
+  result.timings.total_seconds = total.seconds();
+  return result;
+}
+
+Result run_almost_cliques(const Options& options, const Graph& g,
+                          std::vector<NodeSet> cliques) {
+  KCC_SPAN("cpm_engine/almost_exact");
+  Timer total;
+  AlmostCpmResult almost = [&] {
+    obs::StageScope stage("percolate");
+    return run_almost_cpm_on_cliques(g, std::move(cliques),
+                                     options.cpm_options());
+  }();
+  return adopt_sweep_result(options, std::move(almost), total);
+}
+
+std::vector<EngineInfo>& mutable_registry() {
+  static std::vector<EngineInfo> registry = [] {
+    std::vector<EngineInfo> built_in;
+    {
+      EngineInfo sweep;
+      sweep.name = "sweep";
+      sweep.summary =
+          "single descending-k union-find sweep over the sorted overlap "
+          "list; tree in the same pass (default)";
+      sweep.run_on_cliques = &run_sweep_cliques;
+      built_in.push_back(std::move(sweep));
+    }
+    {
+      EngineInfo stream;
+      stream.name = "stream";
+      stream.summary =
+          "fused enumeration + incremental overlap join with bounded "
+          "windows; honors --memory-budget spill-to-disk";
+      stream.caps.supports_memory_budget = true;
+      stream.run = &run_stream_full;
+      stream.run_on_cliques = &run_stream_cliques;
+      built_in.push_back(std::move(stream));
+    }
+    {
+      EngineInfo per_k;
+      per_k.name = "per_k";
+      per_k.summary =
+          "one independent percolation per k over the shared overlap list "
+          "(the original LP-CPM structure; reference oracle)";
+      per_k.run_on_cliques = &run_per_k_cliques;
+      built_in.push_back(std::move(per_k));
+    }
+    {
+      EngineInfo almost;
+      almost.name = "almost_exact";
+      almost.summary =
+          "Baudin et al. bounded-memory percolation over per-node community "
+          "candidates; no overlap join, output approximate (F1-gated)";
+      almost.caps.exact = false;
+      almost.run_on_cliques = &run_almost_cliques;
+      built_in.push_back(std::move(almost));
+    }
+    {
+      EngineInfo reference;
+      reference.name = "reference";
+      reference.summary =
+          "literal k-clique-graph definition; exponential, validation on "
+          "small graphs only";
+      reference.caps.supports_run_on_cliques = false;
+      reference.caps.exponential = true;
+      reference.run = &run_reference_full;
+      built_in.push_back(std::move(reference));
+    }
+    return built_in;
+  }();
+  return registry;
+}
+
+// Fails fast on a spill directory that would only explode at the first
+// spill deep inside the stream engine.
+void validate_spill_dir(const std::string& spill_dir) {
+  if (spill_dir.empty()) return;
+  std::error_code ec;
+  const std::filesystem::path dir(spill_dir);
+  if (!std::filesystem::is_directory(dir, ec)) {
+    throw Error("cpm::Engine: spill_dir '" + spill_dir +
+                "' does not exist or is not a directory");
+  }
+  if (::access(spill_dir.c_str(), W_OK | X_OK) != 0) {
+    throw Error("cpm::Engine: spill_dir '" + spill_dir +
+                "' is not writable");
+  }
+}
+
 }  // namespace
+
+const char* exactness_name(Exactness exactness) {
+  switch (exactness) {
+    case Exactness::kExact:
+      return "exact";
+    case Exactness::kAlmostExact:
+      return "almost_exact";
+  }
+  return "?";
+}
+
+const std::vector<EngineInfo>& engine_registry() { return mutable_registry(); }
+
+const EngineInfo* find_engine(const std::string& name) {
+  for (const EngineInfo& info : engine_registry()) {
+    if (info.name == name) return &info;
+  }
+  return nullptr;
+}
+
+const EngineInfo& engine_info(const std::string& name) {
+  if (const EngineInfo* info = find_engine(name)) return *info;
+  throw Error("unknown engine '" + name + "' (" + engine_names_joined() +
+              ")");
+}
+
+void register_engine(EngineInfo info) {
+  require(!info.name.empty(), "register_engine: name must be non-empty");
+  require(find_engine(info.name) == nullptr,
+          "register_engine: duplicate engine name '" + info.name + "'");
+  require(info.run != nullptr || info.run_on_cliques != nullptr,
+          "register_engine: engine '" + info.name +
+              "' needs at least one run hook");
+  mutable_registry().push_back(std::move(info));
+}
+
+std::string engine_names_joined(char sep) {
+  std::string joined;
+  for (const EngineInfo& info : engine_registry()) {
+    if (!joined.empty()) joined.push_back(sep);
+    joined += info.name;
+  }
+  return joined;
+}
 
 const char* engine_name(EngineKind kind) {
   switch (kind) {
@@ -88,6 +319,8 @@ const char* engine_name(EngineKind kind) {
       return "stream";
     case EngineKind::kPerK:
       return "per_k";
+    case EngineKind::kAlmostExact:
+      return "almost_exact";
     case EngineKind::kReference:
       return "reference";
   }
@@ -95,11 +328,14 @@ const char* engine_name(EngineKind kind) {
 }
 
 EngineKind parse_engine(const std::string& name) {
+  engine_info(name);  // throws with the full registered-name list
   if (name == "sweep") return EngineKind::kSweep;
   if (name == "stream") return EngineKind::kStream;
   if (name == "per_k") return EngineKind::kPerK;
+  if (name == "almost_exact") return EngineKind::kAlmostExact;
   if (name == "reference") return EngineKind::kReference;
-  throw Error("unknown engine '" + name + "' (sweep|stream|per_k|reference)");
+  throw Error("engine '" + name +
+              "' has no legacy EngineKind; use engine_info(name)");
 }
 
 CpmOptions Options::cpm_options() const {
@@ -110,126 +346,61 @@ CpmOptions Options::cpm_options() const {
   return legacy;
 }
 
-Engine::Engine(Options options) : options_(std::move(options)) {
+Engine::Engine(Options options)
+    : options_(std::move(options)), info_(&engine_info(options_.engine)) {
   require(options_.min_k >= 2, "cpm::Engine: min_k must be >= 2");
   require(options_.min_clique_size >= 2,
           "cpm::Engine: min_clique_size must be >= 2");
 }
 
 Result Engine::run(const Graph& g) const {
-  if (options_.engine == EngineKind::kReference) {
-    KCC_SPAN("cpm_engine/reference");
-    Timer total;
-    Result result;
-    result.engine = EngineKind::kReference;
+  if (info_->caps.supports_memory_budget) {
+    validate_spill_dir(options_.spill_dir);
+  }
+  Result result;
+  if (info_->run != nullptr) {
+    result = info_->run(options_, g);
+  } else {
+    // Generic path: shared clique enumeration feeding run_on_cliques.
+    Timer cliques_timer;
+    std::vector<NodeSet> cliques;
     {
-      obs::StageScope stage("percolate");
-      result.cpm = collect_per_k(options_, [&](std::size_t k) {
-        return reference_k_clique_communities(g, k);
-      });
+      KCC_SPAN("cpm_engine/cliques");
+      obs::StageScope stage("cliques");
+      ThreadPool pool(options_.threads);
+      clique::Options copt;
+      copt.min_size = options_.min_clique_size;
+      copt.backend = options_.clique_backend;
+      copt.bitset_max_universe = options_.bitset_max_universe;
+      cliques = clique::Enumerator(g, copt).collect(pool);
     }
-    result.timings.percolate_seconds = total.lap();
-    if (options_.build_tree && result.cpm.max_k >= result.cpm.min_k) {
-      obs::StageScope stage("tree");
-      result.tree = CommunityTree::build(result.cpm);
-      result.has_tree = true;
-      result.timings.tree_seconds = total.lap();
-    }
-    result.timings.total_seconds = total.seconds();
-    return result;
+    const double cliques_seconds = cliques_timer.seconds();
+    result = run_on_cliques(g, std::move(cliques));
+    result.timings.cliques_seconds = cliques_seconds;
+    result.timings.total_seconds += cliques_seconds;
   }
-
-  if (options_.engine == EngineKind::kStream) {
-    // The streaming engine pipelines enumeration with the overlap join, so
-    // there is no separate clique stage to time: cliques_seconds stays 0
-    // and percolate_seconds covers the fused pass.
-    KCC_SPAN("cpm_engine/stream");
-    Timer total;
-    Result result;
-    result.engine = EngineKind::kStream;
-    StreamCpmResult stream = [&] {
-      obs::StageScope stage("percolate");
-      return run_stream_cpm(g, stream_options(options_));
-    }();
-    result.cpm = std::move(stream.cpm);
-    result.timings.percolate_seconds = total.lap();
-    if (options_.build_tree && result.cpm.max_k >= result.cpm.min_k) {
-      result.tree = std::move(stream.tree);
-      result.has_tree = true;
-    }
-    result.timings.total_seconds = total.seconds();
-    return result;
-  }
-
-  Timer cliques_timer;
-  std::vector<NodeSet> cliques;
-  {
-    KCC_SPAN("cpm_engine/cliques");
-    obs::StageScope stage("cliques");
-    ThreadPool pool(options_.threads);
-    clique::Options copt;
-    copt.min_size = options_.min_clique_size;
-    copt.backend = options_.clique_backend;
-    copt.bitset_max_universe = options_.bitset_max_universe;
-    cliques = clique::Enumerator(g, copt).collect(pool);
-  }
-  const double cliques_seconds = cliques_timer.seconds();
-  Result result = run_on_cliques(g, std::move(cliques));
-  result.timings.cliques_seconds = cliques_seconds;
-  result.timings.total_seconds += cliques_seconds;
+  result.engine_name = info_->name;
+  result.exactness =
+      info_->caps.exact ? Exactness::kExact : Exactness::kAlmostExact;
+  obs::annotate_run("cpm_engine", result.engine_name);
+  obs::annotate_run("cpm_exactness", exactness_name(result.exactness));
   return result;
 }
 
 Result Engine::run_on_cliques(const Graph& g,
                               std::vector<NodeSet> cliques) const {
-  require(options_.engine != EngineKind::kReference,
-          "cpm::Engine: the reference engine enumerates k-cliques itself; "
-          "use run(g)");
-  Timer total;
-  Result result;
-  result.engine = options_.engine;
-  const CpmOptions legacy = options_.cpm_options();
-  if (options_.engine == EngineKind::kSweep) {
-    KCC_SPAN("cpm_engine/sweep");
-    SweepCpmResult sweep = [&] {
-      obs::StageScope stage("percolate");
-      return run_sweep_cpm_on_cliques(g, std::move(cliques), legacy);
-    }();
-    result.cpm = std::move(sweep.cpm);
-    result.timings.percolate_seconds = total.lap();
-    if (options_.build_tree && result.cpm.max_k >= result.cpm.min_k) {
-      // The sweep built the tree in the same pass; adopt it.
-      result.tree = std::move(sweep.tree);
-      result.has_tree = true;
-    }
-  } else if (options_.engine == EngineKind::kStream) {
-    KCC_SPAN("cpm_engine/stream");
-    StreamCpmResult stream = [&] {
-      obs::StageScope stage("percolate");
-      return run_stream_cpm_on_cliques(g, std::move(cliques),
-                                       stream_options(options_));
-    }();
-    result.cpm = std::move(stream.cpm);
-    result.timings.percolate_seconds = total.lap();
-    if (options_.build_tree && result.cpm.max_k >= result.cpm.min_k) {
-      result.tree = std::move(stream.tree);
-      result.has_tree = true;
-    }
-  } else {
-    KCC_SPAN("cpm_engine/per_k");
-    {
-      obs::StageScope stage("percolate");
-      result.cpm = run_cpm_on_cliques(g, std::move(cliques), legacy);
-    }
-    result.timings.percolate_seconds = total.lap();
-    if (options_.build_tree && result.cpm.max_k >= result.cpm.min_k) {
-      obs::StageScope stage("tree");
-      result.tree = CommunityTree::build(result.cpm);
-      result.has_tree = true;
-      result.timings.tree_seconds = total.lap();
-    }
+  require(info_->caps.supports_run_on_cliques && info_->run_on_cliques,
+          "cpm::Engine: the " + std::string(info_->name) +
+              " engine enumerates k-cliques itself; use run(g)");
+  if (info_->caps.supports_memory_budget) {
+    validate_spill_dir(options_.spill_dir);
   }
-  result.timings.total_seconds = total.seconds();
+  Result result = info_->run_on_cliques(options_, g, std::move(cliques));
+  result.engine_name = info_->name;
+  result.exactness =
+      info_->caps.exact ? Exactness::kExact : Exactness::kAlmostExact;
+  obs::annotate_run("cpm_engine", result.engine_name);
+  obs::annotate_run("cpm_exactness", exactness_name(result.exactness));
   return result;
 }
 
@@ -237,7 +408,9 @@ Result Engine::run_weighted(const Graph& g, const EdgeWeights& weights) const {
   KCC_SPAN("cpm_engine/weighted");
   Timer total;
   Result result;
-  result.engine = options_.engine;
+  result.engine_name = info_->name;
+  result.exactness =
+      info_->caps.exact ? Exactness::kExact : Exactness::kAlmostExact;
   obs::StageScope stage("percolate");
   result.cpm = collect_per_k(options_, [&](std::size_t k) {
     WeightedCpmOptions weighted;
@@ -257,6 +430,7 @@ std::string canonical_text(const Result& result,
                            const CanonicalOptions& options) {
   std::ostringstream out;
   const CpmResult& cpm = result.cpm;
+  out << "exactness " << exactness_name(result.exactness) << '\n';
   out << "k " << cpm.min_k << ' ' << cpm.max_k << '\n';
   if (options.include_cliques) {
     out << "cliques " << cpm.cliques.size() << '\n';
@@ -334,7 +508,8 @@ Options options_from_cli(const CliArgs& args, Options defaults) {
   options.threads = static_cast<std::size_t>(
       args.get_int("threads", static_cast<std::int64_t>(options.threads)));
   if (args.has("engine")) {
-    options.engine = parse_engine(args.get_string("engine", "sweep"));
+    options.engine = args.get_string("engine", "sweep");
+    engine_info(options.engine);  // unknown names fail at flag-parse time
   }
   if (args.has("memory-budget")) {
     options.memory_budget =

@@ -6,16 +6,21 @@
 // weighted_k_clique_communities (CPMw intensity filtering). Each had its own
 // options and result shape, and none produced the community tree. The Engine
 // facade unifies them: one Options struct selects the k range, the clique
-// floor, the intensity threshold and the engine
-// (sweep | stream | per_k | reference);
-// one Result carries communities-by-k, the nesting tree and per-stage
-// timings. The old free functions remain as thin compatibility wrappers —
+// floor, the intensity threshold and the engine; one Result carries
+// communities-by-k, the nesting tree, per-stage timings and exactness
+// provenance. The old free functions remain as thin compatibility wrappers —
 // new code should construct an Engine.
 //
 //   cpm::Options options;
 //   options.max_k = 12;
 //   cpm::Result result = cpm::Engine(options).run(graph);
 //   use(result.cpm.at(5), result.tree);
+//
+// Engines are looked up by name in a string-keyed registry
+// (engine_registry()) instead of a closed enum, so backends can be added —
+// including approximate ones — without touching every dispatch site. Each
+// EngineInfo carries capability flags; CLI help text, the kcc_bench matrix
+// and the check::differential axis are all generated from the registry.
 #pragma once
 
 #include <cstddef>
@@ -32,24 +37,89 @@
 
 namespace kcc::cpm {
 
-/// Which percolation implementation runs.
-///  * kSweep — single descending-k union-find sweep over the sorted overlap
-///    list; produces the community tree in the same pass (the default).
-///  * kStream — the same sweep, but cliques stream through a bounded
-///    windowed channel and overlap pairs are bucketed (and optionally
-///    spilled to disk under --memory-budget) instead of materialized as one
-///    global array; lowest peak memory, byte-identical output.
-///  * kPerK — one independent percolation per k over the shared overlap
-///    list (the original LP-CPM structure; kept as the reference oracle).
-///  * kReference — the literal k-clique-graph definition; exponential, for
-///    validation on small graphs only.
-/// docs/ALGORITHMS.md compares the engines with measured numbers.
-enum class EngineKind { kSweep, kStream, kPerK, kReference };
+struct Options;
+struct Result;
 
+/// Whether an engine's output is byte-identical to the exact CPM definition
+/// or a bounded approximation of it. Carried on every Result so downstream
+/// artifacts (run reports, canonical text, bench JSON) are self-describing.
+enum class Exactness { kExact, kAlmostExact };
+
+const char* exactness_name(Exactness exactness);
+
+/// Capability flags of a registered engine. The differential matrix, the
+/// bench matrix and option validation key off these instead of hardcoding
+/// engine names.
+struct EngineCaps {
+  /// Output is byte-identical to every other exact engine (the digest gate
+  /// applies). Approximate engines are compared by community similarity
+  /// (cpm/compare.h) instead.
+  bool exact = true;
+  /// Honors Options::memory_budget / Options::spill_dir.
+  bool supports_memory_budget = false;
+  /// Produces the Fig. 4.2 nesting tree when Options::build_tree is set.
+  bool supports_tree = true;
+  /// Engine::run_on_cliques works (the engine consumes a pre-enumerated
+  /// maximal-clique table). False for engines that enumerate k-cliques
+  /// themselves.
+  bool supports_run_on_cliques = true;
+  /// Exponential-time validation oracle: only safe on tiny graphs. Matrix
+  /// generators cap the input size for these.
+  bool exponential = false;
+};
+
+/// One registered percolation backend: name, one-line summary (used to
+/// generate --engine help text), capabilities and the dispatch hooks.
+struct EngineInfo {
+  std::string name;
+  std::string summary;
+  EngineCaps caps;
+  /// Full run over a graph. Null = use the generic path (shared clique
+  /// enumeration followed by run_on_cliques).
+  Result (*run)(const Options&, const Graph&) = nullptr;
+  /// Run over a pre-enumerated clique table. Null iff
+  /// !caps.supports_run_on_cliques.
+  Result (*run_on_cliques)(const Options&, const Graph&,
+                           std::vector<NodeSet>) = nullptr;
+};
+
+/// All registered engines, built-ins first, in registration order. The
+/// built-ins: sweep (default; single descending-k union-find sweep over the
+/// sorted overlap list, tree in the same pass), stream (same sweep but
+/// cliques stream through a bounded windowed channel with optional
+/// spill-to-disk under --memory-budget), per_k (one independent percolation
+/// per k; the original LP-CPM structure, kept as the reference oracle),
+/// almost_exact (Baudin et al. 2021 bounded-memory percolation over
+/// per-node community candidates — no overlap join; approximate) and
+/// reference (the literal k-clique-graph definition; exponential).
+/// docs/ALGORITHMS.md compares them with measured numbers.
+const std::vector<EngineInfo>& engine_registry();
+
+/// Registry lookup; nullptr when `name` is unknown.
+const EngineInfo* find_engine(const std::string& name);
+
+/// Registry lookup; throws kcc::Error listing the registered names when
+/// `name` is unknown.
+const EngineInfo& engine_info(const std::string& name);
+
+/// Adds an engine to the registry (throws on a duplicate name). Intended
+/// for out-of-tree experiments; the built-ins are always present.
+void register_engine(EngineInfo info);
+
+/// "sweep|stream|per_k|almost_exact|reference" — the registered names
+/// joined with `sep`, for help/error text.
+std::string engine_names_joined(char sep = '|');
+
+/// DEPRECATED closed enum kept as a compatibility shim over the registry;
+/// new code should use the string names / EngineInfo directly. Engines
+/// registered at runtime have no EngineKind.
+enum class EngineKind { kSweep, kStream, kPerK, kAlmostExact, kReference };
+
+/// DEPRECATED: registry-backed name of a built-in engine kind.
 const char* engine_name(EngineKind kind);
 
-/// Parses "sweep" | "stream" | "per_k" | "reference"; throws kcc::Error
-/// otherwise.
+/// DEPRECATED: parses a built-in engine name to the legacy enum; throws
+/// kcc::Error otherwise. Prefer engine_info(name).
 EngineKind parse_engine(const std::string& name);
 
 struct Options {
@@ -67,7 +137,8 @@ struct Options {
   /// Worker threads; 0 means hardware concurrency, 1 forces sequential.
   std::size_t threads = 0;
 
-  EngineKind engine = EngineKind::kSweep;
+  /// Registry name of the percolation backend (see engine_registry()).
+  std::string engine = "sweep";
 
   /// Which maximal-clique kernel feeds the percolation (all engines except
   /// reference, which enumerates k-cliques itself). `auto` picks bitset for
@@ -87,7 +158,9 @@ struct Options {
   std::uint64_t memory_budget = 0;
 
   /// Streaming engine only: directory for spill files (empty = system
-  /// temp directory).
+  /// temp directory). Must exist and be writable — validated at
+  /// Engine::run entry so a bad path fails before any work, not at the
+  /// first spill.
   std::string spill_dir;
 
   /// Weighted runs (Engine::run_weighted) keep only k-cliques whose
@@ -117,7 +190,11 @@ struct Result {
   CpmResult cpm;       // communities for every k, plus the clique table
   CommunityTree tree;  // valid iff has_tree
   bool has_tree = false;
-  EngineKind engine = EngineKind::kSweep;
+  /// Provenance: which registered engine produced this, and whether its
+  /// output is exact. Serialized into canonical_text headers and run
+  /// reports.
+  std::string engine_name = "sweep";
+  Exactness exactness = Exactness::kExact;
   Timings timings;
 };
 
@@ -126,13 +203,14 @@ class Engine {
   explicit Engine(Options options = {});
 
   const Options& options() const { return options_; }
+  const EngineInfo& info() const { return *info_; }
 
   /// Enumerates maximal cliques of `g` and extracts communities + tree.
   Result run(const Graph& g) const;
 
   /// Same over a pre-enumerated maximal-clique set (sorted, size >= 2).
-  /// Not available for the reference engine, which enumerates k-cliques
-  /// itself.
+  /// Throws for engines with !caps.supports_run_on_cliques (reference,
+  /// which enumerates k-cliques itself).
   Result run_on_cliques(const Graph& g, std::vector<NodeSet> cliques) const;
 
   /// CPMw: communities among k-cliques whose intensity reaches
@@ -142,6 +220,7 @@ class Engine {
 
  private:
   Options options_;
+  const EngineInfo* info_;  // resolved at construction; never null
 };
 
 /// What the canonical serialization covers. The reference engine produces
@@ -153,10 +232,12 @@ struct CanonicalOptions {
   bool include_tree = true;
 };
 
-/// Deterministic line-oriented serialization of a Result. Two Results are
-/// byte-identical under the engines' output contract iff their canonical
-/// texts are equal; the check:: differential runner diffs these to pinpoint
-/// the first divergence between engines.
+/// Deterministic line-oriented serialization of a Result, opening with an
+/// `exactness exact|almost_exact` header. Two Results are byte-identical
+/// under the exact engines' output contract iff their canonical texts are
+/// equal; the check:: differential runner diffs these to pinpoint the first
+/// divergence between engines. Approximate results are compared by
+/// similarity instead (cpm/compare.h).
 std::string canonical_text(const Result& result,
                            const CanonicalOptions& options = {});
 
@@ -170,8 +251,9 @@ std::uint64_t canonical_digest(const Result& result,
 const std::vector<std::string>& engine_cli_flags();
 
 /// Applies the shared engine flags on top of `defaults`:
-///   --k-min=N --k-max=N --engine=sweep|stream|per_k|reference --threads=N
+///   --k-min=N --k-max=N --engine=NAME --threads=N
 ///   --memory-budget=BYTES[K|M|G] --clique-backend=auto|sparse|bitset
+/// --engine accepts any registered name (see engine_registry()).
 Options options_from_cli(const CliArgs& args, Options defaults = {});
 
 }  // namespace kcc::cpm

@@ -152,9 +152,26 @@ std::vector<StageSample> RunRecorder::stages() const {
   return stages_;
 }
 
+void RunRecorder::annotate(const std::string& key, std::string value) {
+  std::lock_guard lock(mutex_);
+  annotations_[key] = std::move(value);
+}
+
+std::map<std::string, std::string> RunRecorder::annotations() const {
+  std::lock_guard lock(mutex_);
+  return annotations_;
+}
+
 void RunRecorder::clear() {
   std::lock_guard lock(mutex_);
   stages_.clear();
+  annotations_.clear();
+}
+
+void annotate_run(const std::string& key, std::string value) {
+  RunRecorder& recorder = RunRecorder::instance();
+  if (!recorder.enabled()) return;
+  recorder.annotate(key, std::move(value));
 }
 
 namespace {
@@ -225,7 +242,18 @@ void write_run_report(std::ostream& out, const RunManifest& manifest) {
     write_hw_values_json(out, stages[i].hw);
     out << "}";
   }
-  out << "],\"rss\":{\"current_bytes\":" << current_rss_bytes()
+  out << "],\"annotations\":{";
+  const std::map<std::string, std::string> annotations =
+      RunRecorder::instance().annotations();
+  bool first_annotation = true;
+  for (const auto& [key, value] : annotations) {
+    if (!first_annotation) out << ",";
+    first_annotation = false;
+    write_json_string(out, key);
+    out << ":";
+    write_json_string(out, value);
+  }
+  out << "},\"rss\":{\"current_bytes\":" << current_rss_bytes()
       << ",\"peak_bytes\":" << peak_rss_bytes() << "}";
   out << ",\"hw\":";
   write_hw_values_json(out, HwCounterSet::global().read());

@@ -79,6 +79,12 @@ class RunRecorder {
 
   void record(StageSample sample);
   std::vector<StageSample> stages() const;
+
+  /// Key → value facts attached to the report (engine name, exactness, …);
+  /// serialized under "annotations". Last write per key wins.
+  void annotate(const std::string& key, std::string value);
+  std::map<std::string, std::string> annotations() const;
+
   void clear();
 
  private:
@@ -87,7 +93,14 @@ class RunRecorder {
   std::atomic<bool> enabled_{false};
   mutable std::mutex mutex_;
   std::vector<StageSample> stages_;
+  std::map<std::string, std::string> annotations_;
 };
+
+/// Attaches `key` = `value` to the active run report. No-op (one relaxed
+/// atomic load) when no recorder is enabled, so producers — e.g.
+/// cpm::Engine stamping engine/exactness provenance — can call it
+/// unconditionally.
+void annotate_run(const std::string& key, std::string value);
 
 /// RAII stage instrumentation. On destruction: adds the hw-counter delta to
 /// the `hw_*_total` registry counters (when counters are live) and appends a

@@ -156,6 +156,29 @@ TEST(RunReport, RoundTripsThroughFlatParser) {
   recorder.clear();
 }
 
+TEST(RunReport, AnnotationsSerializeIntoTheReport) {
+  obs::RunRecorder& recorder = obs::RunRecorder::instance();
+  recorder.clear();
+  recorder.set_enabled(true);
+  obs::annotate_run("cpm_engine", "almost_exact");
+  obs::annotate_run("cpm_exactness", "almost_exact");
+  recorder.annotate("quoted", "a\"b");
+  recorder.set_enabled(false);
+
+  std::ostringstream out;
+  obs::write_run_report(out, obs::collect_manifest("test_obs_report"));
+  const obs::FlatJson doc = obs::parse_json_flat(out.str());
+  EXPECT_EQ(doc.string("annotations.cpm_engine"), "almost_exact");
+  EXPECT_EQ(doc.string("annotations.cpm_exactness"), "almost_exact");
+  EXPECT_EQ(doc.string("annotations.quoted"), "a\"b");
+  recorder.clear();
+
+  // With the recorder disabled the free function is a no-op, so engines can
+  // stamp annotations unconditionally.
+  obs::annotate_run("ignored", "x");
+  EXPECT_TRUE(recorder.annotations().empty());
+}
+
 TEST(RunReport, WriteFileRejectsBadPath) {
   EXPECT_THROW(obs::write_run_report_file(
                    "/nonexistent/dir/report.json",

@@ -211,15 +211,16 @@ TEST(StreamCpm, StatsReportPairsAndPeak) {
 TEST(CpmEngineStream, DispatchMatchesSweep) {
   const Graph g = random_graph(50, 0.3, 5);
   cpm::Options options;
-  options.engine = cpm::EngineKind::kSweep;
+  options.engine = "sweep";
   const cpm::Result sweep = cpm::Engine(options).run(g);
-  options.engine = cpm::EngineKind::kStream;
+  options.engine = "stream";
   const cpm::Result stream = cpm::Engine(options).run(g);
 
   expect_same_cpm(sweep.cpm, stream.cpm, "engine dispatch");
   ASSERT_TRUE(stream.has_tree);
   expect_same_tree(sweep.tree, stream.tree, "engine dispatch");
-  EXPECT_EQ(stream.engine, cpm::EngineKind::kStream);
+  EXPECT_EQ(stream.engine_name, "stream");
+  EXPECT_EQ(stream.exactness, cpm::Exactness::kExact);
   // The fused pass has no separate clique stage.
   EXPECT_EQ(stream.timings.cliques_seconds, 0.0);
   EXPECT_GT(stream.timings.percolate_seconds, 0.0);
@@ -231,10 +232,10 @@ TEST(CpmEngineStream, RunOnCliquesDispatch) {
   ThreadPool pool(2);
   std::vector<NodeSet> cliques = parallel_maximal_cliques(g, pool, 2);
   cpm::Options options;
-  options.engine = cpm::EngineKind::kStream;
+  options.engine = "stream";
   const cpm::Result stream =
       cpm::Engine(options).run_on_cliques(g, cliques);
-  options.engine = cpm::EngineKind::kSweep;
+  options.engine = "sweep";
   const cpm::Result sweep =
       cpm::Engine(options).run_on_cliques(g, std::move(cliques));
   expect_same_cpm(sweep.cpm, stream.cpm, "run_on_cliques dispatch");
@@ -244,11 +245,12 @@ TEST(CpmEngineStream, RunOnCliquesDispatch) {
 TEST(CpmEngineStream, ParsesEngineNameAndBudgetFlag) {
   EXPECT_EQ(cpm::parse_engine("stream"), cpm::EngineKind::kStream);
   EXPECT_STREQ(cpm::engine_name(cpm::EngineKind::kStream), "stream");
+  EXPECT_TRUE(cpm::engine_info("stream").caps.supports_memory_budget);
 
   const char* argv[] = {"prog", "--engine=stream", "--memory-budget=64M"};
   const CliArgs args(3, argv, cpm::engine_cli_flags());
   const cpm::Options options = cpm::options_from_cli(args);
-  EXPECT_EQ(options.engine, cpm::EngineKind::kStream);
+  EXPECT_EQ(options.engine, "stream");
   EXPECT_EQ(options.memory_budget, 64ull * 1024 * 1024);
 
   const char* bad[] = {"prog", "--memory-budget=12X"};

@@ -116,17 +116,19 @@ TEST(SweepCpm, RejectsBadInput) {
 TEST(CpmEngine, SweepAndPerKDispatchAgree) {
   const Graph g = random_graph(50, 0.3, 5);
   cpm::Options options;
-  options.engine = cpm::EngineKind::kSweep;
+  options.engine = "sweep";
   const cpm::Result sweep = cpm::Engine(options).run(g);
-  options.engine = cpm::EngineKind::kPerK;
+  options.engine = "per_k";
   const cpm::Result per_k = cpm::Engine(options).run(g);
 
   expect_same_cpm(per_k.cpm, sweep.cpm, "engine dispatch");
   ASSERT_TRUE(sweep.has_tree);
   ASSERT_TRUE(per_k.has_tree);
   EXPECT_EQ(sweep.tree.nodes().size(), per_k.tree.nodes().size());
-  EXPECT_EQ(sweep.engine, cpm::EngineKind::kSweep);
-  EXPECT_EQ(per_k.engine, cpm::EngineKind::kPerK);
+  EXPECT_EQ(sweep.engine_name, "sweep");
+  EXPECT_EQ(per_k.engine_name, "per_k");
+  EXPECT_EQ(sweep.exactness, cpm::Exactness::kExact);
+  EXPECT_EQ(per_k.exactness, cpm::Exactness::kExact);
   EXPECT_GT(sweep.timings.total_seconds, 0.0);
   EXPECT_GT(sweep.timings.cliques_seconds, 0.0);
   EXPECT_GT(sweep.timings.percolate_seconds, 0.0);
@@ -135,9 +137,9 @@ TEST(CpmEngine, SweepAndPerKDispatchAgree) {
 TEST(CpmEngine, ReferenceEngineAgreesOnNodeSets) {
   const Graph g = overlapping_cliques(5, 5, 3);
   cpm::Options options;
-  options.engine = cpm::EngineKind::kReference;
+  options.engine = "reference";
   const cpm::Result ref = cpm::Engine(options).run(g);
-  options.engine = cpm::EngineKind::kSweep;
+  options.engine = "sweep";
   const cpm::Result sweep = cpm::Engine(options).run(g);
 
   ASSERT_EQ(ref.cpm.min_k, sweep.cpm.min_k);
@@ -158,7 +160,7 @@ TEST(CpmEngine, ReferenceEngineAgreesOnNodeSets) {
 
 TEST(CpmEngine, ReferenceEngineRejectsPreEnumeratedCliques) {
   cpm::Options options;
-  options.engine = cpm::EngineKind::kReference;
+  options.engine = "reference";
   EXPECT_THROW(
       cpm::Engine(options).run_on_cliques(complete_graph(4), {{0, 1, 2, 3}}),
       Error);
@@ -202,12 +204,16 @@ TEST(CpmEngine, ValidatesOptions) {
 }
 
 TEST(CpmEngine, ParsesEngineNames) {
+  // The deprecated EngineKind shim must stay wired to the registry names.
   EXPECT_EQ(cpm::parse_engine("sweep"), cpm::EngineKind::kSweep);
   EXPECT_EQ(cpm::parse_engine("per_k"), cpm::EngineKind::kPerK);
+  EXPECT_EQ(cpm::parse_engine("almost_exact"), cpm::EngineKind::kAlmostExact);
   EXPECT_EQ(cpm::parse_engine("reference"), cpm::EngineKind::kReference);
   EXPECT_THROW(cpm::parse_engine("bogus"), Error);
   EXPECT_STREQ(cpm::engine_name(cpm::EngineKind::kSweep), "sweep");
   EXPECT_STREQ(cpm::engine_name(cpm::EngineKind::kPerK), "per_k");
+  EXPECT_STREQ(cpm::engine_name(cpm::EngineKind::kAlmostExact),
+               "almost_exact");
   EXPECT_STREQ(cpm::engine_name(cpm::EngineKind::kReference), "reference");
 }
 
@@ -219,7 +225,7 @@ TEST(CpmEngine, OptionsFromCliAppliesSharedFlags) {
   EXPECT_EQ(options.min_k, 3u);
   EXPECT_EQ(options.max_k, 7u);
   EXPECT_EQ(options.threads, 2u);
-  EXPECT_EQ(options.engine, cpm::EngineKind::kPerK);
+  EXPECT_EQ(options.engine, "per_k");
 
   // Defaults pass through untouched when no flag is given.
   const char* bare[] = {"prog"};
@@ -229,7 +235,7 @@ TEST(CpmEngine, OptionsFromCliAppliesSharedFlags) {
       cpm::options_from_cli(CliArgs(1, bare, cpm::engine_cli_flags()),
                             defaults);
   EXPECT_EQ(kept.min_k, 4u);
-  EXPECT_EQ(kept.engine, cpm::EngineKind::kSweep);
+  EXPECT_EQ(kept.engine, "sweep");
 }
 
 }  // namespace

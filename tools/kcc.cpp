@@ -53,12 +53,15 @@ int usage() {
       "  info     --edges=FILE\n"
       "\n"
       "engine selection (cpm/tree/analyze):\n"
-      "  --engine=sweep|stream|per_k|reference\n"
-      "           sweep (default) runs the single-pass community-tree\n"
-      "           engine; stream is the same sweep with bounded memory\n"
-      "           (cliques and overlap pairs never materialize globally);\n"
-      "           per_k is the original per-k percolation; reference is\n"
-      "           the literal definition (tiny graphs only)\n"
+      "  --engine=" << cpm::engine_names_joined() << "\n";
+  // The per-engine help lines come from the registry, so a newly
+  // registered backend documents itself.
+  for (const cpm::EngineInfo& info : cpm::engine_registry()) {
+    std::cerr << "           " << info.name << ": " << info.summary;
+    if (!info.caps.exact) std::cerr << " [approximate]";
+    std::cerr << "\n";
+  }
+  std::cerr <<
       "  --k-min=N/--k-max=N bound the community order (aliases\n"
       "           --min-k/--max-k are accepted for compatibility)\n"
       "  --memory-budget=BYTES[K|M|G]\n"
@@ -147,7 +150,8 @@ int cmd_cpm(const CliArgs& args) {
   std::cout << "Maximal cliques: " << result.cliques.size() << "\n";
   std::cout << "Communities: " << result.total_communities() << " over k in ["
             << result.min_k << ", " << result.max_k << "] ("
-            << cpm::engine_name(run.engine) << " engine, "
+            << run.engine_name << " engine, "
+            << cpm::exactness_name(run.exactness) << ", "
             << fixed(run.timings.total_seconds, 2) << " s)\n";
   TextTable table({"k", "communities", "largest"});
   for (std::size_t k = result.min_k; k <= result.max_k; ++k) {

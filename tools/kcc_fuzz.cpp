@@ -136,6 +136,7 @@ int main(int argc, char** argv) {
     std::size_t variants_run = 0;
     std::uint64_t invariants_checked = 0;
     std::size_t faults_injected = 0;
+    double worst_approx_f1 = 1.0;
     std::optional<FailureRecord> first_failure;
 
     auto run_one = [&](const check::TestGraph& graph) {
@@ -143,6 +144,7 @@ int main(int argc, char** argv) {
       ++graphs_run;
       variants_run += outcome.variants_run;
       invariants_checked += outcome.invariants_checked;
+      worst_approx_f1 = std::min(worst_approx_f1, outcome.worst_approx_f1);
       if (outcome.fault_injected) ++faults_injected;
       if (!outcome.ok() && !first_failure) {
         first_failure = FailureRecord{graph, outcome.failure};
@@ -208,8 +210,8 @@ int main(int argc, char** argv) {
     std::cout << "kcc_fuzz: " << graphs_run << " graphs, " << variants_run
               << " engine runs, " << invariants_checked
               << " invariants checked, " << faults_injected
-              << " faults injected, " << (first_failure ? 1 : 0)
-              << " failures\n";
+              << " faults injected, worst approximate F1 " << worst_approx_f1
+              << ", " << (first_failure ? 1 : 0) << " failures\n";
     obs::finish(obs_options);
 
     if (expect_fault) {
