@@ -7,13 +7,10 @@
 #include "common/timer.h"
 
 namespace kcc::obs {
-namespace {
 
-// Runs `write(stream)` against `path`, where "-" selects stdout. File
-// errors throw with `what` naming the artifact.
-template <typename WriteFn>
 void write_artifact(const std::string& path, const char* what,
-                    WriteFn&& write) {
+                    const std::function<void(std::ostream&)>& write,
+                    bool binary) {
   if (path == "-") {
     write(std::cout);
     std::cout.flush();
@@ -21,15 +18,14 @@ void write_artifact(const std::string& path, const char* what,
             std::string("obs: failed writing ") + what + " to stdout");
     return;
   }
-  std::ofstream out(path);
+  std::ofstream out(path, binary ? std::ios::out | std::ios::binary
+                                 : std::ios::out);
   require(out.good(), std::string("obs: cannot write ") + what + " file " +
                           path);
   write(out);
   require(out.good(), std::string("obs: failed writing ") + what + " file " +
                           path);
 }
-
-}  // namespace
 
 void configure(const ObsOptions& options) {
   if (!options.log_level.empty()) {

@@ -3,6 +3,8 @@
 // --trace-out, --metrics-out) used by tools/kcc and the bench harnesses.
 #pragma once
 
+#include <functional>
+#include <iosfwd>
 #include <string>
 
 #include "obs/log.h"
@@ -35,6 +37,15 @@ void configure(const ObsOptions& options);
 /// dropped spans (the Chrome trace is truncated). Throws kcc::Error when a
 /// file cannot be written.
 void finish(const ObsOptions& options);
+
+/// Runs `write(stream)` against `path`, where "-" selects stdout — the one
+/// artifact-output convention every tool shares (trace/metrics/report
+/// sidecars, `kcc --snapshot-out`, bench JSON). File errors throw
+/// kcc::Error with `what` naming the artifact. `binary` opens files in
+/// binary mode (snapshots); stdout is used as-is either way.
+void write_artifact(const std::string& path, const char* what,
+                    const std::function<void(std::ostream&)>& write,
+                    bool binary = false);
 
 /// Writes the current trace buffer as Chrome trace_event JSON to `path`
 /// ("-" = stdout).

@@ -1,0 +1,115 @@
+// Client side of the serve protocol: a blocking unix-socket connection with
+// typed helpers for every op, used by `kcc query`, the serve tests and the
+// perf_serve benchmark. One Client per thread — the connection is a plain
+// fd with no internal locking.
+//
+// Two usage styles:
+//   * request/response helpers (info(), membership(), ...) — one frame out,
+//     one frame in; simplest, pays a round trip per query.
+//   * pipelining — send_request() N times, then read_response() N times.
+//     The server answers in order, so deep pipelines amortize the syscall
+//     round trip; perf_serve uses this to saturate a single core.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace kcc::serve {
+
+/// One (k, community id) membership.
+struct Membership {
+  std::uint32_t k = 0;
+  std::uint32_t id = 0;
+
+  bool operator==(const Membership&) const = default;
+};
+
+/// One ancestry entry: the community and its node count.
+struct AncestryEntry {
+  std::uint32_t k = 0;
+  std::uint32_t id = 0;
+  std::uint32_t size = 0;
+
+  bool operator==(const AncestryEntry&) const = default;
+};
+
+/// kOverlap answer: deepest k where the two nodes share a community.
+struct Overlap {
+  std::uint32_t max_k = 0;  // 0 = the nodes never share a community
+  std::uint32_t community = 0;
+  std::uint32_t count = 0;  // co-memberships at max_k
+
+  bool operator==(const Overlap&) const = default;
+};
+
+/// kInfo answer.
+struct ServerInfo {
+  std::uint64_t min_k = 0;
+  std::uint64_t max_k = 0;
+  std::uint64_t num_nodes = 0;
+  std::uint64_t num_communities = 0;
+  bool has_tree = false;
+  std::uint8_t exactness = 0;
+  std::string engine;
+};
+
+class Client {
+ public:
+  /// Connects to the daemon's unix socket. Retries for up to
+  /// `timeout_seconds` while the socket does not exist / refuses — covers
+  /// the daemon-still-starting window in tests. Throws kcc::Error on
+  /// timeout.
+  explicit Client(const std::string& socket_path,
+                  double timeout_seconds = 5.0);
+  ~Client();
+
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Client& operator=(Client&&) = delete;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // -- one-shot helpers (send + receive; throw kcc::Error on a non-kOk
+  //    status except where the signature says otherwise) -------------------
+  ServerInfo info();
+  std::vector<Membership> membership(std::uint32_t node, std::uint32_t k = 0);
+  std::vector<std::uint32_t> community(std::uint32_t k, std::uint32_t id);
+  std::vector<AncestryEntry> ancestry(std::uint32_t k, std::uint32_t id);
+  std::optional<Membership> lca(std::uint32_t k1, std::uint32_t id1,
+                                std::uint32_t k2, std::uint32_t id2);
+  Overlap overlap(std::uint32_t u, std::uint32_t v);
+  /// Returns the server's status byte (kOk, or kShuttingDown when remote
+  /// shutdown is disabled) instead of throwing.
+  Status request_shutdown();
+
+  // -- pipelining -----------------------------------------------------------
+  void send_request(const std::vector<std::uint8_t>& payload);
+  /// Reads the next response frame (status byte + payload).
+  std::vector<std::uint8_t> read_response();
+
+  int fd() const { return fd_; }
+
+ private:
+  /// send_request + read_response + require(kOk), returning a Reader-ready
+  /// payload without the status byte.
+  std::vector<std::uint8_t> call(const std::vector<std::uint8_t>& request);
+
+  int fd_ = -1;
+};
+
+// -- request encoders (shared by the helpers above and by pipelining
+//    callers like perf_serve) ------------------------------------------------
+std::vector<std::uint8_t> encode_info();
+std::vector<std::uint8_t> encode_membership(std::uint32_t node,
+                                            std::uint32_t k = 0);
+std::vector<std::uint8_t> encode_community(std::uint32_t k, std::uint32_t id);
+std::vector<std::uint8_t> encode_ancestry(std::uint32_t k, std::uint32_t id);
+std::vector<std::uint8_t> encode_lca(std::uint32_t k1, std::uint32_t id1,
+                                     std::uint32_t k2, std::uint32_t id2);
+std::vector<std::uint8_t> encode_overlap(std::uint32_t u, std::uint32_t v);
+std::vector<std::uint8_t> encode_shutdown();
+
+}  // namespace kcc::serve

@@ -1,0 +1,160 @@
+// Wire protocol of the `kcc serve` query daemon.
+//
+// Both directions use the same length-prefixed frame so either side can
+// read without lookahead:
+//
+//   [u32 payload_bytes (LE)] [payload]
+//
+// Request payload:  [u8 op] [op-specific little-endian fields]
+// Response payload: [u8 status] [status == kOk ? op-specific result
+//                                              : UTF-8 error message]
+//
+// Every integer is little-endian, matching the snapshot format (the daemon
+// answers straight out of the mapping). Clients may pipeline: the server
+// answers frames strictly in arrival order per connection, so N requests
+// can be written back-to-back and the N responses read in sequence — the
+// trick that makes a 1-core QPS benchmark syscall-bound rather than
+// RTT-bound. docs/SERVING.md is the prose spec.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace kcc::serve {
+
+/// Request opcodes (first payload byte of a request).
+enum class Op : std::uint8_t {
+  /// -> u64 min_k, u64 max_k, u64 num_nodes, u64 num_communities,
+  ///    u8 has_tree, u8 exactness, u16 engine_name_bytes, engine name.
+  kInfo = 1,
+  /// u32 node, u32 k (0 = all k) -> u32 count, count x {u32 k, u32 id}.
+  kMembership = 2,
+  /// u32 k, u32 id -> u32 count, count x u32 node (sorted members).
+  kCommunity = 3,
+  /// u32 k, u32 id -> u32 count, count x {u32 k, u32 id, u32 size};
+  /// self first, then parents down to min_k. Needs a snapshot with a tree.
+  kAncestry = 4,
+  /// u32 k1, u32 id1, u32 k2, u32 id2 -> u8 found, found ? {u32 k, u32 id}.
+  /// Lowest common ancestor of two tree nodes; found=0 when the walks end
+  /// in different bottom-level roots.
+  kLca = 5,
+  /// u32 u, u32 v -> u32 max_k (0 = never co-members), u32 community
+  /// (witness id at max_k), u32 count (co-memberships at max_k).
+  kOverlap = 6,
+  /// -> empty. Asks the daemon to shut down gracefully (deny with
+  /// --no-remote-shutdown).
+  kShutdown = 7,
+};
+
+/// First payload byte of a response.
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kBadRequest = 1,   // malformed frame / unknown op / argument out of range
+  kUnsupported = 2,  // query needs data this snapshot lacks (e.g. no tree)
+  kShuttingDown = 3, // remote shutdown refused or server draining
+};
+
+/// Frames larger than this are rejected as malformed before allocation —
+/// requests are tiny; only responses carry bulk data.
+inline constexpr std::uint32_t kMaxRequestBytes = 1024;
+
+/// Upper bound a well-behaved client enforces on response frames (largest
+/// legit response is a community node list; 1 GiB is far beyond any graph
+/// this serves).
+inline constexpr std::uint32_t kMaxResponseBytes = 1u << 30;
+
+// -- payload byte helpers ---------------------------------------------------
+
+inline void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+inline void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+/// Sequential bounds-checked reader over one received payload. Throws
+/// kcc::Error on under-runs so truncated frames fail loudly on both sides.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t bytes)
+      : data_(data), bytes_(bytes) {}
+  explicit Reader(const std::vector<std::uint8_t>& buf)
+      : Reader(buf.data(), buf.size()) {}
+
+  std::size_t remaining() const { return bytes_ - pos_; }
+
+  std::uint8_t u8() { return take(1)[0]; }
+
+  std::uint16_t u16() {
+    const std::uint8_t* p = take(2);
+    return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+  }
+
+  std::uint32_t u32() {
+    const std::uint8_t* p = take(4);
+    return static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+  }
+
+  std::uint64_t u64() {
+    std::uint64_t lo = u32();
+    std::uint64_t hi = u32();
+    return lo | (hi << 32);
+  }
+
+  std::string bytes(std::size_t n) {
+    const std::uint8_t* p = take(n);
+    return std::string(reinterpret_cast<const char*>(p), n);
+  }
+
+ private:
+  const std::uint8_t* take(std::size_t n) {
+    require(remaining() >= n, "serve protocol: truncated payload");
+    const std::uint8_t* p = data_ + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t bytes_;
+  std::size_t pos_ = 0;
+};
+
+// -- blocking fd I/O (EINTR-safe) -------------------------------------------
+
+/// Reads exactly `bytes`. Returns false on clean EOF at offset 0 (peer
+/// closed between frames); throws kcc::Error on mid-frame EOF or errors.
+bool read_exact(int fd, void* buf, std::size_t bytes);
+
+/// Writes all of `bytes`; throws kcc::Error on error (incl. EPIPE).
+void write_all(int fd, const void* buf, std::size_t bytes);
+
+/// Writes one [length][payload] frame.
+void write_frame(int fd, const std::vector<std::uint8_t>& payload);
+
+/// Reads one frame into `payload` (resized). Returns false on clean EOF
+/// before a length prefix. Frames above `max_bytes` throw.
+bool read_frame(int fd, std::vector<std::uint8_t>& payload,
+                std::uint32_t max_bytes);
+
+}  // namespace kcc::serve

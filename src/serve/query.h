@@ -1,0 +1,31 @@
+// Query evaluation for the serve daemon: one request payload in, one
+// response payload out, over an mmapped snapshot. Pure logic — no sockets,
+// no threads — so the in-process tests can drive it against the in-memory
+// cpm::Result oracle and the Server can stay a thin framing loop.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "io/snapshot.h"
+#include "serve/protocol.h"
+
+namespace kcc::serve {
+
+/// What a request asked the connection loop to do besides answering.
+enum class QueryAction {
+  kReply,     // normal answer
+  kShutdown,  // valid kShutdown request: reply, then stop the server
+};
+
+/// Evaluates one request payload against the snapshot and appends the
+/// response payload (status byte first) to `response`. Malformed requests
+/// produce a kBadRequest response rather than throwing; tree queries on a
+/// treeless snapshot produce kUnsupported. When `allow_shutdown` is false a
+/// kShutdown request is answered with kShuttingDown and kReply is returned.
+QueryAction evaluate(const snapshot::SnapshotView& view,
+                     const std::uint8_t* request, std::size_t request_bytes,
+                     std::vector<std::uint8_t>& response,
+                     bool allow_shutdown);
+
+}  // namespace kcc::serve

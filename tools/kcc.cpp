@@ -15,7 +15,14 @@
 //       Full paper analysis over on-disk datasets.
 //   kcc info --edges=FILE
 //       Topology statistics (degrees, clustering, components, cliques).
+//   kcc serve --snapshot=FILE --socket=PATH
+//       mmap a community snapshot (written by cpm --snapshot-out) and answer
+//       concurrent membership/community/ancestry/LCA/overlap queries over a
+//       unix-domain socket until SIGINT/SIGTERM or a remote shutdown.
+//   kcc query --socket=PATH --op=OP [query args]
+//       One-shot client for a running serve daemon.
 
+#include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -35,33 +42,42 @@
 #include "io/dot_export.h"
 #include "io/edge_list.h"
 #include "io/result_io.h"
+#include "io/snapshot.h"
 #include "obs/obs.h"
+#include "serve/client.h"
+#include "serve/server.h"
 
 namespace {
 
 using namespace kcc;
 
-int usage() {
-  std::cerr <<
+int usage(std::ostream& out, int rc) {
+  out <<
       "usage: kcc <command> [flags]\n"
       "  generate --out-dir=DIR [--scale=test|bench|paper] [--seed=N]\n"
       "  cpm      --edges=FILE [--k-min=N] [--k-max=N] [--engine=ENGINE]\n"
       "           [--threads=N] [--memory-budget=BYTES[K|M|G]] [--out=FILE]\n"
+      "           [--snapshot-out=FILE]\n"
       "  tree     --edges=FILE [--dot=FILE] [--min-k-shown=N] [--engine=ENGINE]\n"
       "  analyze  --edges=FILE --ixps=FILE --countries=FILE --geo=FILE\n"
       "           [--threads=N] [--engine=ENGINE]\n"
       "  info     --edges=FILE\n"
+      "  serve    --snapshot=FILE --socket=PATH [--no-remote-shutdown]\n"
+      "  query    --socket=PATH --op=info|membership|community|ancestry|\n"
+      "           lca|overlap|shutdown [--node=N] [--k=N] [--id=N] [--k2=N]\n"
+      "           [--id2=N] [--u=N] [--v=N] [--timeout=SECONDS]\n"
+      "  help | --help\n"
       "\n"
       "engine selection (cpm/tree/analyze):\n"
       "  --engine=" << cpm::engine_names_joined() << "\n";
   // The per-engine help lines come from the registry, so a newly
   // registered backend documents itself.
   for (const cpm::EngineInfo& info : cpm::engine_registry()) {
-    std::cerr << "           " << info.name << ": " << info.summary;
-    if (!info.caps.exact) std::cerr << " [approximate]";
-    std::cerr << "\n";
+    out << "           " << info.name << ": " << info.summary;
+    if (!info.caps.exact) out << " [approximate]";
+    out << "\n";
   }
-  std::cerr <<
+  out <<
       "  --k-min=N/--k-max=N bound the community order (aliases\n"
       "           --min-k/--max-k are accepted for compatibility)\n"
       "  --memory-budget=BYTES[K|M|G]\n"
@@ -72,6 +88,17 @@ int usage() {
       "           subproblem into 64-bit rows (word-parallel, the fast\n"
       "           path); sparse is the sorted-merge kernel; auto (default)\n"
       "           picks per graph — output is identical either way\n"
+      "\n"
+      "serving (docs/SERVING.md):\n"
+      "  --snapshot-out=FILE\n"
+      "           cpm only: also write the binary community snapshot that\n"
+      "           `kcc serve` mmaps (format spec in docs/FORMATS.md)\n"
+      "  --snapshot=FILE --socket=PATH\n"
+      "           serve: the snapshot to serve and the unix socket to bind\n"
+      "  --no-remote-shutdown\n"
+      "           serve: refuse the client-initiated shutdown op\n"
+      "  --op=... --node/--k/--id/--k2/--id2/--u/--v, --timeout=SECONDS\n"
+      "           query: operation and its arguments (see docs/SERVING.md)\n"
       "\n"
       "observability flags (accepted by every command):\n"
       "  --log-level=off|error|warn|info|debug|trace\n"
@@ -90,7 +117,7 @@ int usage() {
       "\n"
       "Unknown flags are an error; see docs/OBSERVABILITY.md for the metric\n"
       "catalog.\n";
-  return 2;
+  return rc;
 }
 
 SynthParams scale_params(const std::string& scale) {
@@ -166,6 +193,113 @@ int cmd_cpm(const CliArgs& args) {
     const std::string out = args.get_string("out", "");
     write_cpm_result_file(out, result);
     std::cout << "Result saved to " << out << "\n";
+  }
+  if (args.has("snapshot-out")) {
+    const std::string out = args.get_string("snapshot-out", "");
+    obs::write_artifact(out, "snapshot",
+                        [&run](std::ostream& stream) {
+                          snapshot::write_snapshot(stream, run);
+                        },
+                        /*binary=*/true);
+    if (out != "-") std::cout << "Snapshot saved to " << out << "\n";
+  }
+  return 0;
+}
+
+serve::Server* g_server = nullptr;
+
+extern "C" void kcc_serve_signal(int) {
+  // Async-signal-safe: one atomic store; Server::wait polls the flag and
+  // performs the actual teardown on the main thread.
+  if (g_server != nullptr) g_server->request_shutdown();
+}
+
+int cmd_serve(const CliArgs& args) {
+  const std::string snapshot = args.get_string("snapshot", "");
+  const std::string socket = args.get_string("socket", "");
+  require(!snapshot.empty(), "serve: --snapshot is required");
+  require(!socket.empty(), "serve: --socket is required");
+  serve::ServerOptions options;
+  options.socket_path = socket;
+  options.allow_remote_shutdown = !args.get_bool("no-remote-shutdown", false);
+
+  serve::Server server(snapshot, options);
+  std::cout << "Serving " << server.view().num_communities()
+            << " communities (k " << server.view().min_k() << ".."
+            << server.view().max_k() << ", engine "
+            << server.view().engine_name() << ", "
+            << cpm::exactness_name(server.view().exactness()) << ") on "
+            << socket << "\n"
+            << std::flush;
+  g_server = &server;
+  std::signal(SIGINT, kcc_serve_signal);
+  std::signal(SIGTERM, kcc_serve_signal);
+  server.start();
+  server.wait();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_server = nullptr;
+  std::cout << "Shut down cleanly\n";
+  return 0;
+}
+
+int cmd_query(const CliArgs& args) {
+  const std::string socket = args.get_string("socket", "");
+  const std::string op = args.get_string("op", "");
+  require(!socket.empty(), "query: --socket is required");
+  require(!op.empty(), "query: --op is required");
+  const double timeout = args.get_double("timeout", 5.0);
+  auto u32 = [&args](const char* flag) {
+    require(args.has(flag), std::string("query: --") + flag + " is required");
+    return static_cast<std::uint32_t>(args.get_int(flag, 0));
+  };
+
+  serve::Client client(socket, timeout);
+  if (op == "info") {
+    const serve::ServerInfo info = client.info();
+    std::cout << "engine " << info.engine << ", k in [" << info.min_k << ", "
+              << info.max_k << "], " << info.num_nodes << " nodes, "
+              << info.num_communities << " communities, tree "
+              << (info.has_tree ? "yes" : "no") << "\n";
+  } else if (op == "membership") {
+    const auto memberships = client.membership(
+        u32("node"), static_cast<std::uint32_t>(args.get_int("k", 0)));
+    for (const serve::Membership& m : memberships) {
+      std::cout << "k=" << m.k << " community=" << m.id << "\n";
+    }
+    std::cout << memberships.size() << " memberships\n";
+  } else if (op == "community") {
+    const auto nodes = client.community(u32("k"), u32("id"));
+    for (std::uint32_t v : nodes) std::cout << v << "\n";
+    std::cout << nodes.size() << " nodes\n";
+  } else if (op == "ancestry") {
+    for (const serve::AncestryEntry& entry :
+         client.ancestry(u32("k"), u32("id"))) {
+      std::cout << "k=" << entry.k << " community=" << entry.id << " size="
+                << entry.size << "\n";
+    }
+  } else if (op == "lca") {
+    const auto lca = client.lca(u32("k"), u32("id"), u32("k2"), u32("id2"));
+    if (lca.has_value()) {
+      std::cout << "lca k=" << lca->k << " community=" << lca->id << "\n";
+    } else {
+      std::cout << "no common ancestor\n";
+    }
+  } else if (op == "overlap") {
+    const serve::Overlap overlap = client.overlap(u32("u"), u32("v"));
+    if (overlap.max_k == 0) {
+      std::cout << "no shared community\n";
+    } else {
+      std::cout << "max_k=" << overlap.max_k << " community="
+                << overlap.community << " count=" << overlap.count << "\n";
+    }
+  } else if (op == "shutdown") {
+    const serve::Status status = client.request_shutdown();
+    require(status == serve::Status::kOk,
+            "query: server refused shutdown (--no-remote-shutdown?)");
+    std::cout << "server shutting down\n";
+  } else {
+    throw Error("query: unknown --op '" + op + "'");
   }
   return 0;
 }
@@ -251,14 +385,19 @@ int cmd_info(const CliArgs& args) {
 
 int main(int argc, char** argv) {
   try {
-    if (argc < 2) return usage();
+    if (argc < 2) return usage(std::cerr, 2);
     const std::string command = argv[1];
+    if (command == "help" || command == "--help") {
+      return usage(std::cout, 0);
+    }
     // CliArgs rejects flags outside this list, so typos (--thread=8) fail
     // loudly instead of silently running with defaults.
     std::vector<std::string> known{
         "out-dir", "scale", "seed", "edges", "min-k", "max-k", "out", "dot",
         "min-k-shown", "ixps", "countries", "geo", "log-level", "trace-out",
-        "metrics-out", "report-out"};
+        "metrics-out", "report-out", "snapshot-out", "snapshot", "socket",
+        "no-remote-shutdown", "op", "node", "k", "id", "k2", "id2", "u", "v",
+        "timeout"};
     for (const std::string& flag : cpm::engine_cli_flags()) {
       known.push_back(flag);
     }
@@ -282,9 +421,13 @@ int main(int argc, char** argv) {
       rc = cmd_analyze(args);
     } else if (command == "info") {
       rc = cmd_info(args);
+    } else if (command == "serve") {
+      rc = cmd_serve(args);
+    } else if (command == "query") {
+      rc = cmd_query(args);
     } else {
       std::cerr << "unknown command '" << command << "'\n";
-      return usage();
+      return usage(std::cerr, 2);
     }
     obs::finish(obs_options);
     return rc;

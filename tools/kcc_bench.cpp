@@ -40,6 +40,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -106,13 +107,35 @@ SynthParams scale_params(const std::string& scale) {
   throw Error("kcc_bench: unknown --scale '" + scale + "' (test|bench|paper)");
 }
 
+int usage(std::ostream& out, int rc) {
+  out <<
+      "usage: kcc_bench [--scale=test|bench|paper] [--seed=N] [--reps=5]\n"
+      "                 [--threads=0] [--engines=a,b,...] [--backends=a,b]\n"
+      "                 [--no-budgeted] [--out=REPORT.json]\n"
+      "                 [--trajectory=FILE.jsonl] [--compare=BASELINE.json]\n"
+      "                 [--in=REPORT.json] [--rel-tol=0.10] [--mad-k=5.0]\n"
+      "                 [--log-level=L] [--trace-out=F] [--metrics-out=F]\n"
+      "                 [--report-out=F] [--help]\n"
+      "\n"
+      "Runs the engine x clique-backend perf matrix (forked repetitions,\n"
+      "median + MAD per metric), writes a versioned run-report JSON, and\n"
+      "with --compare gates the run against a baseline report (see\n"
+      "docs/TESTING.md#reading-a-compare-failure). --in=REPORT.json skips\n"
+      "the fresh run and compares two report files directly.\n";
+  return rc;
+}
+
 DriverOptions parse_args(int argc, char** argv) {
   const std::vector<std::string> known{
       "scale",   "seed",    "reps",      "threads", "engines",
       "backends", "no-budgeted", "out",  "trajectory", "compare",
       "in",      "rel-tol", "mad-k",     "log-level", "trace-out",
-      "metrics-out", "report-out"};
+      "metrics-out", "report-out", "help"};
   const CliArgs args(argc, argv, known);
+  if (args.get_bool("help", false)) {
+    usage(std::cout, 0);
+    std::exit(0);
+  }
   DriverOptions o;
   for (const cpm::EngineInfo& info : cpm::engine_registry()) {
     o.engines.push_back(info.name);

@@ -38,14 +38,15 @@ namespace {
 
 using namespace kcc;
 
-int usage() {
-  std::cerr <<
+int usage(std::ostream& out, int rc) {
+  out <<
       "usage: kcc_fuzz [--seed=N] [--iters=N] [--threads=N]\n"
       "                [--corpus-dir=DIR] [--artifact-dir=DIR]\n"
       "                [--no-restricted-range] [--max-shrink-evals=N]\n"
       "                [--expect-fault] [--expect-repro=FILE]\n"
-      "                [--log-level=L] [--trace-out=F] [--metrics-out=F]\n";
-  return 2;
+      "                [--log-level=L] [--trace-out=F] [--metrics-out=F]\n"
+      "                [--help]\n";
+  return rc;
 }
 
 /// Edge lines of an edge-list text, comments/blank lines stripped and
@@ -96,7 +97,7 @@ int main(int argc, char** argv) {
         "help"};
     // CliArgs itself skips argv[0]; no subcommand to strip (unlike kcc).
     const CliArgs args(argc, argv, known);
-    if (args.get_bool("help", false)) return usage();
+    if (args.get_bool("help", false)) return usage(std::cout, 0);
     obs::ObsOptions obs_options;
     obs_options.log_level = args.get_string("log-level", "");
     obs_options.trace_out = args.get_string("trace-out", "");
