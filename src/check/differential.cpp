@@ -110,7 +110,10 @@ std::vector<Variant> build_matrix(std::size_t min_k, std::size_t max_k,
   return matrix;
 }
 
-/// First line where the two canonical texts diverge, with both readings.
+}  // namespace
+
+namespace detail {
+
 std::string first_diff(const std::string& base_label, const std::string& base,
                        const std::string& label, const std::string& text) {
   std::istringstream a(base), b(text);
@@ -173,7 +176,7 @@ std::string inject_fault(cpm::Result& result, const std::string& kind) {
               "' (community|clique-map|tree)");
 }
 
-}  // namespace
+}  // namespace detail
 
 DiffOutcome run_differential(const Graph& g, const DiffOptions& options) {
   auto& graphs_total = obs::metrics().counter("check_graphs_total");
@@ -208,6 +211,12 @@ DiffOutcome run_differential(const Graph& g, const DiffOptions& options) {
     cpm::Result baseline_result;     // kept for approximate-engine scoring
     std::string baseline_text;       // full canonical serialization
     std::string baseline_node_text;  // node-sets-only projection
+    // Lazily-built projection for engines whose caps declare a
+    // lexicographic clique table (canonical_clique_order): the baseline
+    // passed through cpm::canonicalise_clique_order. Clique order is a
+    // serialization detail, so normalizing the baseline keeps the gate
+    // byte-exact without exempting those engines from it.
+    std::string baseline_lex_text;
     // Previous approximate run per engine name: t1 vs tN must be identical.
     std::string approx_prev_label, approx_prev_engine, approx_prev_text;
     for (std::size_t i = 0; i < matrix.size(); ++i) {
@@ -217,7 +226,7 @@ DiffOutcome run_differential(const Graph& g, const DiffOptions& options) {
       variants_total.inc();
 
       if (i == fault_target) {
-        const std::string injected = inject_fault(result, fault_kind);
+        const std::string injected = detail::inject_fault(result, fault_kind);
         if (!injected.empty()) {
           outcome.fault_injected = true;
           faults_total.inc();
@@ -253,8 +262,8 @@ DiffOutcome run_differential(const Graph& g, const DiffOptions& options) {
         const std::string text = cpm::canonical_text(result);
         if (approx_prev_engine == variant.options.engine) {
           const std::string diff =
-              first_diff(approx_prev_label, approx_prev_text, variant.label,
-                         text);
+              detail::first_diff(approx_prev_label, approx_prev_text,
+                                 variant.label, text);
           if (!diff.empty()) {
             mismatches_total.inc();
             if (outcome.failure.empty()) {
@@ -282,14 +291,22 @@ DiffOutcome run_differential(const Graph& g, const DiffOptions& options) {
         continue;
       }
 
+      const bool lex_cliques =
+          cpm::engine_info(variant.options.engine).caps.canonical_clique_order;
+      if (lex_cliques && baseline_lex_text.empty()) {
+        cpm::Result reordered = baseline_result;
+        cpm::canonicalise_clique_order(reordered);
+        baseline_lex_text = cpm::canonical_text(reordered);
+      }
       const std::string text =
           variant.node_sets_only
               ? cpm::canonical_text(result, {false, false, false})
               : cpm::canonical_text(result);
-      const std::string& base =
-          variant.node_sets_only ? baseline_node_text : baseline_text;
+      const std::string& base = variant.node_sets_only ? baseline_node_text
+                                : lex_cliques          ? baseline_lex_text
+                                                       : baseline_text;
       const std::string diff =
-          first_diff(matrix[0].label, base, variant.label, text);
+          detail::first_diff(matrix[0].label, base, variant.label, text);
       if (!diff.empty()) {
         mismatches_total.inc();
         if (outcome.failure.empty()) outcome.failure = diff;

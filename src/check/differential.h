@@ -8,7 +8,10 @@
 // variant (each registered exact engine × threads ∈ {1, N}, spill/auto
 // variants for budget-capable engines, bitset/backend crosses, and — on
 // tiny graphs — the exponential reference engine) must produce a
-// byte-identical canonical serialization (cpm::canonical_text). The
+// byte-identical canonical serialization (cpm::canonical_text); variants of
+// engines that declare EngineCaps::canonical_clique_order are diffed
+// against the baseline passed through cpm::canonicalise_clique_order, since
+// clique-table order is a serialization detail rather than CPM output. The
 // baseline result is also validated from first principles by the invariant
 // oracles (invariants.h). Any divergence is reported as the first differing
 // canonical line, which pinpoints the k level / community / tree node that
@@ -81,5 +84,21 @@ DiffOutcome run_differential(const Graph& g, const DiffOptions& options = {});
 /// Convenience overload building the graph from a corpus entry.
 DiffOutcome run_differential(const TestGraph& graph,
                              const DiffOptions& options = {});
+
+namespace detail {
+
+/// Test-only corruption hook shared by the differential and churn runners
+/// (KCC_CHECK_INJECT_FAULT): corrupts one record of `result` of the given
+/// kind ("community" | "clique-map" | "tree") and returns a description of
+/// what was corrupted, or an empty string when the result has no record of
+/// that kind. Throws kcc::Error on an unknown kind.
+std::string inject_fault(cpm::Result& result, const std::string& kind);
+
+/// First line where two canonical texts diverge, with both readings
+/// (empty string when identical).
+std::string first_diff(const std::string& base_label, const std::string& base,
+                       const std::string& label, const std::string& text);
+
+}  // namespace detail
 
 }  // namespace kcc::check

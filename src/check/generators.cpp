@@ -1,6 +1,7 @@
 #include "check/generators.h"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
 
 #include "synth/as_topology.h"
@@ -236,34 +237,78 @@ std::string TestGraph::to_edge_list() const {
 
 std::size_t degenerate_graph_count() { return 10; }
 
-void mutate_graph(TestGraph& graph, Rng& rng) {
+cpm::EdgeBatch mutate_graph(TestGraph& graph, Rng& rng) {
+  cpm::EdgeBatch batch;
+  // Canonical view of the current edges (normalized, deduped, loop-free) —
+  // the edge set build() produces. Both picks below are made against this
+  // ONE snapshot: a removed edge is present, an added edge absent, so the
+  // two sides of a rewire can never collide.
+  std::vector<Edge> present;
+  present.reserve(graph.edges.size());
+  for (Edge e : graph.edges) {
+    if (e.first == e.second) continue;
+    if (e.first > e.second) std::swap(e.first, e.second);
+    present.push_back(e);
+  }
+  std::sort(present.begin(), present.end());
+  present.erase(std::unique(present.begin(), present.end()), present.end());
   const std::size_t n = std::max<std::size_t>(graph.num_nodes, 2);
+
+  auto pick_absent = [&]() -> std::optional<Edge> {
+    if (present.size() >= n * (n - 1) / 2) return std::nullopt;  // complete
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const auto u = static_cast<NodeId>(rng.next_below(n));
+      const auto v = static_cast<NodeId>(rng.next_below(n));
+      if (u == v) continue;
+      const Edge e = u < v ? Edge{u, v} : Edge{v, u};
+      if (!std::binary_search(present.begin(), present.end(), e)) return e;
+    }
+    return std::nullopt;  // dense graph, unlucky draws: skip the op
+  };
+  auto do_add = [&]() {
+    const std::optional<Edge> e = pick_absent();
+    if (!e) return false;
+    batch.add.push_back(*e);
+    graph.edges.push_back(*e);
+    graph.num_nodes = std::max<std::size_t>(
+        graph.num_nodes, std::max(e->first, e->second) + std::size_t{1});
+    return true;
+  };
+  auto do_remove = [&]() {
+    if (present.empty()) return false;
+    const Edge e = present[rng.next_below(present.size())];
+    batch.remove.push_back(e);
+    // Drop every raw listing (duplicates, either orientation) so the
+    // removal is visible in the built graph; num_nodes stays, the
+    // endpoints just lose this edge.
+    graph.edges.erase(
+        std::remove_if(graph.edges.begin(), graph.edges.end(),
+                       [&](Edge raw) {
+                         if (raw.first > raw.second) {
+                           std::swap(raw.first, raw.second);
+                         }
+                         return raw == e;
+                       }),
+        graph.edges.end());
+    return true;
+  };
+
   switch (rng.next_below(3)) {
-    case 0: {  // add (self-loops and duplicates intentionally possible)
-      graph.edges.emplace_back(static_cast<NodeId>(rng.next_below(n)),
-                               static_cast<NodeId>(rng.next_below(n)));
-      graph.name += "+add";
+    case 0:
+      if (do_add()) graph.name += "+add";
       break;
-    }
-    case 1: {  // remove
-      if (!graph.edges.empty()) {
-        graph.edges.erase(graph.edges.begin() +
-                          static_cast<std::ptrdiff_t>(
-                              rng.next_below(graph.edges.size())));
-        graph.name += "+del";
-      }
+    case 1:
+      if (do_remove()) graph.name += "+del";
       break;
-    }
-    default: {  // rewire one endpoint
-      if (!graph.edges.empty()) {
-        Edge& e = graph.edges[rng.next_below(graph.edges.size())];
-        NodeId& end = rng.next_bool(0.5) ? e.first : e.second;
-        end = static_cast<NodeId>(rng.next_below(n));
-        graph.name += "+rewire";
-      }
+    default: {
+      // Rewire = remove one present edge and add one absent one.
+      const bool removed = do_remove();
+      const bool added = do_add();
+      if (removed || added) graph.name += "+rewire";
       break;
     }
   }
+  return batch;
 }
 
 TestGraph generate_graph(std::uint64_t seed, std::size_t index) {

@@ -18,6 +18,7 @@
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "cpm/incr_cpm.h"
 #include "graph/graph.h"
 
 namespace kcc::check {
@@ -48,7 +49,15 @@ std::size_t degenerate_graph_count();
 /// degenerate_graph_count() are seed-independent fixed shapes.
 TestGraph generate_graph(std::uint64_t seed, std::size_t index);
 
-/// Applies one random add / remove / rewire mutation in place.
-void mutate_graph(TestGraph& graph, Rng& rng);
+/// Applies one random add / remove / rewire mutation in place and returns
+/// it as the equivalent cpm::EdgeBatch, expressed against the graph
+/// build() produces: adds are normalized absent non-loop edges, removes
+/// are present edges (every raw duplicate listing is dropped too), and the
+/// two sides are disjoint — so the batch replays verbatim on a live
+/// IncrementalCpm (the churn harness relies on this). Node ids never
+/// dangle: removal keeps num_nodes, an add can only grow it. The batch is
+/// empty when the op is impossible (remove on an edgeless graph, add on a
+/// complete one).
+cpm::EdgeBatch mutate_graph(TestGraph& graph, Rng& rng);
 
 }  // namespace kcc::check

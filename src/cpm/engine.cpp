@@ -12,6 +12,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "cpm/almost_cpm.h"
+#include "cpm/incr_cpm.h"
 #include "cpm/reference_cpm.h"
 #include "cpm/stream_cpm.h"
 #include "cpm/sweep_cpm.h"
@@ -222,6 +223,18 @@ std::vector<EngineInfo>& mutable_registry() {
           "(the original LP-CPM structure; reference oracle)";
       per_k.run_on_cliques = &run_per_k_cliques;
       built_in.push_back(std::move(per_k));
+    }
+    {
+      EngineInfo incremental;
+      incremental.name = "incremental";
+      incremental.summary =
+          "live clique/overlap state patched under edge batches, "
+          "materialized through the sweep tail; exact, lexicographic "
+          "clique order";
+      incremental.caps.canonical_clique_order = true;
+      incremental.run = &run_incremental_full;
+      incremental.run_on_cliques = &run_incremental_on_cliques;
+      built_in.push_back(std::move(incremental));
     }
     {
       EngineInfo almost;
@@ -490,6 +503,42 @@ std::uint64_t canonical_digest(const Result& result,
     hash *= 0x100000001b3ULL;
   }
   return hash;
+}
+
+void canonicalise_clique_order(Result& result) {
+  CpmResult& cpm = result.cpm;
+  const std::size_t n = cpm.cliques.size();
+  std::vector<CliqueId> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<CliqueId>(i);
+  std::sort(order.begin(), order.end(), [&](CliqueId a, CliqueId b) {
+    return cpm.cliques[a] < cpm.cliques[b];
+  });
+  std::vector<CliqueId> new_id(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    new_id[order[i]] = static_cast<CliqueId>(i);
+  }
+  std::vector<NodeSet> table(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    table[i] = std::move(cpm.cliques[order[i]]);
+  }
+  cpm.cliques = std::move(table);
+  for (CommunitySet& set : cpm.by_k) {
+    for (Community& community : set.communities) {
+      for (CliqueId& c : community.clique_ids) c = new_id[c];
+      // Every engine emits clique ids ascending; restore that after remap.
+      std::sort(community.clique_ids.begin(), community.clique_ids.end());
+    }
+    // Community order is (size desc, nodes lex) — clique-id independent —
+    // so only the clique->community map needs permuting.
+    if (!set.community_of_clique.empty()) {
+      std::vector<CommunityId> map(n, CommunitySet::kNoCommunity);
+      for (std::size_t c = 0; c < set.community_of_clique.size() && c < n;
+           ++c) {
+        map[new_id[c]] = set.community_of_clique[c];
+      }
+      set.community_of_clique = std::move(map);
+    }
+  }
 }
 
 const std::vector<std::string>& engine_cli_flags() {

@@ -66,6 +66,13 @@ struct EngineCaps {
   /// Exponential-time validation oracle: only safe on tiny graphs. Matrix
   /// generators cap the input size for these.
   bool exponential = false;
+  /// The engine emits its clique table in lexicographic order rather than
+  /// enumeration order (the incremental engine cannot preserve enumeration
+  /// order across edge churn). Digest comparisons against enumeration-
+  /// ordered engines must first pass those Results through
+  /// canonicalise_clique_order() — clique order is a serialization detail
+  /// of canonical_text, not part of the CPM output.
+  bool canonical_clique_order = false;
 };
 
 /// One registered percolation backend: name, one-line summary (used to
@@ -89,10 +96,13 @@ struct EngineInfo {
 /// cliques stream through a bounded windowed channel with optional
 /// spill-to-disk under --memory-budget), per_k (one independent percolation
 /// per k; the original LP-CPM structure, kept as the reference oracle),
-/// almost_exact (Baudin et al. 2021 bounded-memory percolation over
-/// per-node community candidates — no overlap join; approximate) and
-/// reference (the literal k-clique-graph definition; exponential).
-/// docs/ALGORITHMS.md compares them with measured numbers.
+/// incremental (live clique/overlap state patched under edge batches —
+/// cpm/incr_cpm.h — materialized through the sweep tail; exact,
+/// lexicographic clique order), almost_exact (Baudin et al. 2021
+/// bounded-memory percolation over per-node community candidates — no
+/// overlap join; approximate) and reference (the literal k-clique-graph
+/// definition; exponential). docs/ALGORITHMS.md compares them with
+/// measured numbers.
 const std::vector<EngineInfo>& engine_registry();
 
 /// Registry lookup; nullptr when `name` is unknown.
@@ -244,6 +254,15 @@ std::string canonical_text(const Result& result,
 /// FNV-1a 64-bit digest of canonical_text — a cheap equality fingerprint.
 std::uint64_t canonical_digest(const Result& result,
                                const CanonicalOptions& options = {});
+
+/// Re-orders Result::cpm.cliques lexicographically and remaps every clique
+/// id (community clique_ids, re-sorted ascending, and community_of_clique)
+/// accordingly. Community node sets, community order and the tree are
+/// untouched. After this, an exact enumeration-ordered Result is
+/// byte-identical (canonical_text) to the same run from an engine with
+/// caps.canonical_clique_order — the equivalence check::differential and
+/// check::churn_differential rely on.
+void canonicalise_clique_order(Result& result);
 
 /// Flag names of the shared engine CLI surface (--k-min, --k-max, --engine,
 /// --threads, --memory-budget, --clique-backend); append these to a

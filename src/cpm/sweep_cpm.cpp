@@ -81,13 +81,15 @@ SortedOverlaps sort_overlaps_desc(std::vector<CliqueOverlap> overlaps,
   return out;
 }
 
-}  // namespace
-
-SweepCpmResult run_sweep_cpm_on_cliques(const Graph& g,
-                                        std::vector<NodeSet> cliques,
-                                        const CpmOptions& options) {
-  cpm_detail::validate_cpm_input(options.min_k, cliques,
-                                 "run_sweep_cpm_on_cliques");
+// Shared tail of the public entry points: everything after the overlap
+// join. `overlaps` must hold every unordered clique pair sharing >= 2 nodes
+// whenever the effective max k reaches 3 (it is ignored below that).
+SweepCpmResult sweep_from_overlaps(const Graph& g,
+                                   std::vector<NodeSet> cliques,
+                                   std::vector<CliqueOverlap> overlaps,
+                                   const CpmOptions& options, ThreadPool& pool,
+                                   const char* caller) {
+  cpm_detail::validate_cpm_input(options.min_k, cliques, caller);
   SweepCpmResult out;
   CpmResult& result = out.cpm;
   result.cliques = std::move(cliques);
@@ -96,7 +98,6 @@ SweepCpmResult run_sweep_cpm_on_cliques(const Graph& g,
       cpm_detail::resolve_max_k(options.min_k, options.max_k, result.cliques);
   if (result.max_k < result.min_k) return out;
 
-  ThreadPool pool(options.threads);
   const std::size_t num_cliques = result.cliques.size();
   std::size_t max_size = 0;
   for (const auto& c : result.cliques) max_size = std::max(max_size, c.size());
@@ -106,14 +107,6 @@ SweepCpmResult run_sweep_cpm_on_cliques(const Graph& g,
 
   // ---- the k >= 3 descending sweep ----
   if (result.max_k >= 3) {
-    std::vector<CliqueOverlap> overlaps;
-    {
-      KCC_SPAN("sweep_cpm/clique_overlaps");
-      // The counting sort below imposes the only order the sweep needs, so
-      // skip the join's (a, b) sort — the dominant O(P log P) step.
-      overlaps = compute_clique_overlaps_unsorted(result.cliques,
-                                                  g.num_nodes(), 2, pool);
-    }
     SortedOverlaps sorted;
     {
       KCC_SPAN("sweep_cpm/sort_overlaps");
@@ -165,6 +158,37 @@ SweepCpmResult run_sweep_cpm_on_cliques(const Graph& g,
     out.tree = emitter.finish();
   }
   return out;
+}
+
+}  // namespace
+
+SweepCpmResult run_sweep_cpm_on_cliques(const Graph& g,
+                                        std::vector<NodeSet> cliques,
+                                        const CpmOptions& options) {
+  cpm_detail::validate_cpm_input(options.min_k, cliques,
+                                 "run_sweep_cpm_on_cliques");
+  const std::size_t max_k =
+      cpm_detail::resolve_max_k(options.min_k, options.max_k, cliques);
+  ThreadPool pool(options.threads);
+  std::vector<CliqueOverlap> overlaps;
+  if (max_k >= options.min_k && max_k >= 3) {
+    KCC_SPAN("sweep_cpm/clique_overlaps");
+    // The counting sort in the sweep imposes the only order it needs, so
+    // skip the join's (a, b) sort — the dominant O(P log P) step.
+    overlaps =
+        compute_clique_overlaps_unsorted(cliques, g.num_nodes(), 2, pool);
+  }
+  return sweep_from_overlaps(g, std::move(cliques), std::move(overlaps),
+                             options, pool, "run_sweep_cpm_on_cliques");
+}
+
+SweepCpmResult run_sweep_cpm_prejoined(const Graph& g,
+                                       std::vector<NodeSet> cliques,
+                                       std::vector<CliqueOverlap> overlaps,
+                                       const CpmOptions& options) {
+  ThreadPool pool(options.threads);
+  return sweep_from_overlaps(g, std::move(cliques), std::move(overlaps),
+                             options, pool, "run_sweep_cpm_prejoined");
 }
 
 SweepCpmResult run_sweep_cpm(const Graph& g, const CpmOptions& options) {

@@ -27,6 +27,7 @@
 
 #include <vector>
 
+#include "cpm/clique_index.h"
 #include "cpm/community_tree.h"
 #include "cpm/cpm.h"
 #include "graph/graph.h"
@@ -50,5 +51,16 @@ SweepCpmResult run_sweep_cpm(const Graph& g, const CpmOptions& options = {});
 SweepCpmResult run_sweep_cpm_on_cliques(const Graph& g,
                                         std::vector<NodeSet> cliques,
                                         const CpmOptions& options = {});
+
+/// Same, over a pre-enumerated clique set AND a pre-computed overlap pair
+/// multiset (every unordered clique pair sharing >= 2 nodes, any order,
+/// clique ids indexing `cliques`). Skips the overlap join — the incremental
+/// engine maintains the pairs across edge batches and re-enters the sweep
+/// here, so its output is the sweep engine's output by construction. When
+/// the effective k range stays below 3 the pairs are unused.
+SweepCpmResult run_sweep_cpm_prejoined(const Graph& g,
+                                       std::vector<NodeSet> cliques,
+                                       std::vector<CliqueOverlap> overlaps,
+                                       const CpmOptions& options = {});
 
 }  // namespace kcc

@@ -152,6 +152,12 @@ Status Client::request_shutdown() {
   return static_cast<Status>(payload[0]);
 }
 
+Status Client::request_reload() {
+  send_request(encode_reload());
+  const auto payload = read_response();
+  return static_cast<Status>(payload[0]);
+}
+
 std::vector<std::uint8_t> encode_info() {
   std::vector<std::uint8_t> out;
   put_u8(out, static_cast<std::uint8_t>(Op::kInfo));
@@ -206,6 +212,12 @@ std::vector<std::uint8_t> encode_overlap(std::uint32_t u, std::uint32_t v) {
 std::vector<std::uint8_t> encode_shutdown() {
   std::vector<std::uint8_t> out;
   put_u8(out, static_cast<std::uint8_t>(Op::kShutdown));
+  return out;
+}
+
+std::vector<std::uint8_t> encode_reload() {
+  std::vector<std::uint8_t> out;
+  put_u8(out, static_cast<std::uint8_t>(Op::kReload));
   return out;
 }
 

@@ -84,6 +84,10 @@ class Client {
   /// Returns the server's status byte (kOk, or kShuttingDown when remote
   /// shutdown is disabled) instead of throwing.
   Status request_shutdown();
+  /// Asks the daemon to remap its snapshot. Returns the status byte: kOk,
+  /// kUnsupported when remote reload is disabled, kBadRequest when the new
+  /// snapshot failed to load (daemon keeps serving the old one).
+  Status request_reload();
 
   // -- pipelining -----------------------------------------------------------
   void send_request(const std::vector<std::uint8_t>& payload);
@@ -111,5 +115,6 @@ std::vector<std::uint8_t> encode_lca(std::uint32_t k1, std::uint32_t id1,
                                      std::uint32_t k2, std::uint32_t id2);
 std::vector<std::uint8_t> encode_overlap(std::uint32_t u, std::uint32_t v);
 std::vector<std::uint8_t> encode_shutdown();
+std::vector<std::uint8_t> encode_reload();
 
 }  // namespace kcc::serve

@@ -48,6 +48,14 @@ enum class Op : std::uint8_t {
   /// -> empty. Asks the daemon to shut down gracefully (deny with
   /// --no-remote-shutdown).
   kShutdown = 7,
+  /// -> empty. Asks the daemon to remap its snapshot path in place (deny
+  /// with --no-remote-reload; SIGHUP triggers the same swap locally).
+  /// In-flight and pipelined queries on other connections keep answering
+  /// from the mapping they started on; the old mapping is unmapped once
+  /// the last such query finishes. Errors: kUnsupported when disabled,
+  /// kBadRequest with a message when the new snapshot fails to load (the
+  /// daemon keeps serving the old one).
+  kReload = 8,
 };
 
 /// First payload byte of a response.

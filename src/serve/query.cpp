@@ -150,7 +150,7 @@ void do_overlap(const snapshot::SnapshotView& view, Reader& in,
 QueryAction evaluate(const snapshot::SnapshotView& view,
                      const std::uint8_t* request, std::size_t request_bytes,
                      std::vector<std::uint8_t>& response,
-                     bool allow_shutdown) {
+                     bool allow_shutdown, bool allow_reload) {
   response.clear();
   try {
     Reader in(request, request_bytes);
@@ -191,6 +191,15 @@ QueryAction evaluate(const snapshot::SnapshotView& view,
         }
         reply_ok(response);
         return QueryAction::kShutdown;
+      case Op::kReload:
+        require(in.remaining() == 0, "reload: trailing bytes");
+        if (!allow_reload) {
+          reply_error(response, Status::kUnsupported,
+                      "remote reload disabled (--no-remote-reload)");
+          return QueryAction::kReply;
+        }
+        reply_ok(response);  // overwritten by the caller if the swap fails
+        return QueryAction::kReload;
     }
     reply_error(response, Status::kBadRequest,
                 "unknown op " + std::to_string(static_cast<int>(op)));

@@ -16,16 +16,21 @@ namespace kcc::serve {
 enum class QueryAction {
   kReply,     // normal answer
   kShutdown,  // valid kShutdown request: reply, then stop the server
+  kReload,    // valid kReload request: server remaps, then fills the reply
 };
 
 /// Evaluates one request payload against the snapshot and appends the
 /// response payload (status byte first) to `response`. Malformed requests
 /// produce a kBadRequest response rather than throwing; tree queries on a
 /// treeless snapshot produce kUnsupported. When `allow_shutdown` is false a
-/// kShutdown request is answered with kShuttingDown and kReply is returned.
+/// kShutdown request is answered with kShuttingDown and kReply is returned;
+/// when `allow_reload` is false a kReload request is answered with
+/// kUnsupported likewise. An allowed kReload returns kReload with a kOk
+/// response pre-filled — the caller performs the swap and overwrites the
+/// response on failure (evaluate itself is pure and cannot remap).
 QueryAction evaluate(const snapshot::SnapshotView& view,
                      const std::uint8_t* request, std::size_t request_bytes,
                      std::vector<std::uint8_t>& response,
-                     bool allow_shutdown);
+                     bool allow_shutdown, bool allow_reload = true);
 
 }  // namespace kcc::serve

@@ -67,12 +67,14 @@ int make_listen_socket(const std::string& path) {
 }  // namespace
 
 Server::Server(const std::string& snapshot_path, ServerOptions options)
-    : view_(snapshot_path), options_(std::move(options)) {
+    : view_(std::make_shared<const snapshot::SnapshotView>(snapshot_path)),
+      snapshot_path_(snapshot_path),
+      options_(std::move(options)) {
   listen_fd_ = make_listen_socket(options_.socket_path);
   KCC_LOG(kInfo) << "serve: snapshot '" << snapshot_path << "' ("
-                 << view_.num_communities() << " communities, k "
-                 << view_.min_k() << ".." << view_.max_k() << ", engine "
-                 << view_.engine_name() << ") on socket '"
+                 << view_->num_communities() << " communities, k "
+                 << view_->min_k() << ".." << view_->max_k() << ", engine "
+                 << view_->engine_name() << ") on socket '"
                  << options_.socket_path << "'";
 }
 
@@ -94,14 +96,48 @@ void Server::start() {
 void Server::wait() {
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    // Polling keeps request_shutdown() usable from signal handlers, which
-    // must not touch the condition variable.
+    // Polling keeps request_shutdown() / request_reload() usable from
+    // signal handlers, which must not touch the condition variable.
     while (!stopping() &&
            !shutdown_requested_.load(std::memory_order_acquire)) {
+      if (reload_requested_.exchange(false, std::memory_order_acq_rel)) {
+        lock.unlock();
+        const std::string error = try_reload();
+        if (!error.empty()) {
+          KCC_LOG(kError) << "serve: reload failed: " << error;
+        }
+        lock.lock();
+        continue;
+      }
       shutdown_cv_.wait_for(lock, std::chrono::milliseconds(50));
     }
   }
   shutdown();
+}
+
+std::string Server::try_reload() {
+  static obs::Counter& reloads = obs::metrics().counter("serve_reloads_total");
+  static obs::Counter& failures =
+      obs::metrics().counter("serve_reload_failures_total");
+  try {
+    auto fresh =
+        std::make_shared<const snapshot::SnapshotView>(snapshot_path_);
+    {
+      std::lock_guard<std::mutex> lock(view_mutex_);
+      view_ = fresh;
+      // The old mapping is released here unless an in-flight request still
+      // pins it via view_ptr(); the last borrower unmaps it.
+    }
+    reloads.inc();
+    KCC_LOG(kInfo) << "serve: reloaded snapshot '" << snapshot_path_ << "' ("
+                   << fresh->num_communities() << " communities, k "
+                   << fresh->min_k() << ".." << fresh->max_k() << ", engine "
+                   << fresh->engine_name() << ")";
+    return {};
+  } catch (const Error& error) {
+    failures.inc();
+    return error.what();
+  }
 }
 
 void Server::shutdown() {
@@ -187,9 +223,22 @@ void Server::connection_loop(int fd, std::uint64_t id) {
       KCC_SPAN("serve.request");
       requests.inc();
       bytes_in.inc(4 + request.size());
+      // Pin the view per request: a concurrent reload swaps the shared
+      // pointer, not the mapping this request is reading.
+      const std::shared_ptr<const snapshot::SnapshotView> view = view_ptr();
       const QueryAction action =
-          evaluate(view_, request.data(), request.size(), response,
-                   options_.allow_remote_shutdown);
+          evaluate(*view, request.data(), request.size(), response,
+                   options_.allow_remote_shutdown,
+                   options_.allow_remote_reload);
+      if (action == QueryAction::kReload) {
+        const std::string reload_error = try_reload();
+        if (!reload_error.empty()) {
+          response.clear();
+          put_u8(response, static_cast<std::uint8_t>(Status::kBadRequest));
+          const std::string message = "reload failed: " + reload_error;
+          response.insert(response.end(), message.begin(), message.end());
+        }
+      }
       if (!response.empty() &&
           response[0] != static_cast<std::uint8_t>(Status::kOk)) {
         errors.inc();

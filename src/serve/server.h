@@ -12,15 +12,25 @@
 // shuts down every live connection fd, and joins all threads; in-flight
 // requests finish, queued-but-unread frames are dropped with the socket.
 //
+// Hot swap: the snapshot is held through a shared_ptr that every request
+// copies at its start, so try_reload() — triggered by SIGHUP (via
+// request_reload() from the signal handler, the waiter does the work) or
+// the remote kReload op — atomically publishes a freshly mapped view while
+// in-flight queries keep answering from the mapping they started on. The
+// old mapping is unmapped when its last borrower finishes; a failed reload
+// (missing/corrupt file) leaves the current view serving.
+//
 // Metrics (serve_* catalog in docs/SERVING.md): connections, active
 // connections, requests by outcome, bytes in/out, per-request latency
-// histogram. Each request runs under a "serve.request" span.
+// histogram, reloads and reload failures. Each request runs under a
+// "serve.request" span.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -37,6 +47,9 @@ struct ServerOptions {
   std::string socket_path;
   /// Honor the remote kShutdown op (CLI: --no-remote-shutdown clears it).
   bool allow_remote_shutdown = true;
+  /// Honor the remote kReload op (CLI: --no-remote-reload clears it).
+  /// SIGHUP-driven reloads are always honored.
+  bool allow_remote_reload = true;
 };
 
 class Server {
@@ -48,7 +61,19 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  const snapshot::SnapshotView& view() const { return view_; }
+  /// Borrowed reference to the current snapshot — valid only until the
+  /// next reload swaps it out. Fine for startup-time introspection (the
+  /// CLI banner, benchmark setup); request paths use view_ptr() so the
+  /// mapping they read stays pinned.
+  const snapshot::SnapshotView& view() const { return *view_ptr(); }
+
+  /// The current snapshot, pinned: the mapping stays valid for as long as
+  /// the returned pointer lives, across any number of reloads.
+  std::shared_ptr<const snapshot::SnapshotView> view_ptr() const {
+    std::lock_guard<std::mutex> lock(view_mutex_);
+    return view_;
+  }
+
   const std::string& socket_path() const { return options_.socket_path; }
 
   /// Spawns the accept loop. Call once.
@@ -68,6 +93,18 @@ class Server {
     shutdown_requested_.store(true, std::memory_order_release);
   }
 
+  /// Flags the server to remap its snapshot; wait() performs the swap on
+  /// its next poll tick (<= ~50 ms). Async-signal-safe — the SIGHUP
+  /// handler in tools/kcc.cpp calls exactly this.
+  void request_reload() {
+    reload_requested_.store(true, std::memory_order_release);
+  }
+
+  /// Remaps the snapshot path and atomically publishes the new view.
+  /// Returns an empty string on success, the load error otherwise (the
+  /// previous view keeps serving). Safe from any non-signal thread.
+  std::string try_reload();
+
   /// Idempotent, safe from any thread and from signal context is NOT
   /// guaranteed — signal handlers should set a flag and call this from the
   /// main thread (tools/kcc.cpp does; see cmd_serve).
@@ -80,12 +117,15 @@ class Server {
   void accept_loop();
   void connection_loop(int fd, std::uint64_t id);
 
-  snapshot::SnapshotView view_;
+  mutable std::mutex view_mutex_;  // guards the view_ pointer, not the view
+  std::shared_ptr<const snapshot::SnapshotView> view_;
+  std::string snapshot_path_;
   ServerOptions options_;
   int listen_fd_ = -1;
 
   std::atomic<bool> stopping_{false};
   std::atomic<bool> shutdown_requested_{false};
+  std::atomic<bool> reload_requested_{false};
   std::thread accept_thread_;
 
   std::mutex mutex_;  // guards connections_ and threads_

@@ -1,0 +1,277 @@
+// Hot-swap tests for the serve daemon: the remote reload op, the
+// request_reload() flag path (what the SIGHUP handler uses), failed reloads
+// keeping the previous view, --no-remote-reload, in-flight pinning across a
+// swap, and a reload-under-concurrent-query-load hammer (the TSan target).
+// The final test spawns the real kcc binary and drives an actual SIGHUP.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cpm/engine.h"
+#include "io/snapshot.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "test_helpers.h"
+
+extern char** environ;
+
+namespace kcc {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / ("kcc_reload_" + name))
+      .string();
+}
+
+/// Two structurally different results over the same graph family, told
+/// apart by their k floor (info().min_k).
+struct Fixture {
+  cpm::Result result_a;
+  cpm::Result result_b;
+
+  Fixture() {
+    const Graph g = testing::preferential_attachment_graph(60, 4, 21);
+    cpm::Options restricted;
+    restricted.min_k = 4;
+    result_a = cpm::Engine(cpm::Options{}).run(g);
+    result_b = cpm::Engine(restricted).run(g);
+  }
+};
+
+const Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+/// Writes `result` over `path` the way `kcc update` does: tmp + rename, so
+/// a daemon never maps a half-written file.
+void swap_snapshot(const std::string& path, const cpm::Result& result) {
+  const std::string tmp = path + ".tmp";
+  snapshot::write_snapshot_file(tmp, result);
+  std::filesystem::rename(tmp, path);
+}
+
+TEST(ServeReload, RemoteReloadSwapsTheSnapshot) {
+  const std::string snap = temp_path("remote.snap");
+  const std::string sock = temp_path("remote.sock");
+  swap_snapshot(snap, fixture().result_a);
+
+  serve::ServerOptions options;
+  options.socket_path = sock;
+  serve::Server server(snap, options);
+  server.start();
+  {
+    serve::Client client(sock);
+    EXPECT_EQ(client.info().min_k, fixture().result_a.cpm.min_k);
+
+    swap_snapshot(snap, fixture().result_b);
+    EXPECT_EQ(client.request_reload(), serve::Status::kOk);
+    EXPECT_EQ(client.info().min_k, fixture().result_b.cpm.min_k);
+
+    // Reload is idempotent and the connection survives it.
+    EXPECT_EQ(client.request_reload(), serve::Status::kOk);
+    EXPECT_EQ(client.info().min_k, fixture().result_b.cpm.min_k);
+  }
+  server.shutdown();
+  std::remove(snap.c_str());
+}
+
+TEST(ServeReload, FailedReloadKeepsServingThePreviousView) {
+  const std::string snap = temp_path("failed.snap");
+  const std::string sock = temp_path("failed.sock");
+  swap_snapshot(snap, fixture().result_a);
+
+  serve::ServerOptions options;
+  options.socket_path = sock;
+  serve::Server server(snap, options);
+  server.start();
+  {
+    serve::Client client(sock);
+
+    // Corrupt file on the path: the swap must fail and the old view stays.
+    {
+      std::ofstream out(snap, std::ios::binary | std::ios::trunc);
+      out << "not a snapshot";
+    }
+    EXPECT_EQ(client.request_reload(), serve::Status::kBadRequest);
+    EXPECT_EQ(client.info().min_k, fixture().result_a.cpm.min_k);
+
+    // Missing file: same contract.
+    std::remove(snap.c_str());
+    EXPECT_EQ(client.request_reload(), serve::Status::kBadRequest);
+    EXPECT_EQ(client.info().min_k, fixture().result_a.cpm.min_k);
+
+    // A good file heals it.
+    swap_snapshot(snap, fixture().result_b);
+    EXPECT_EQ(client.request_reload(), serve::Status::kOk);
+    EXPECT_EQ(client.info().min_k, fixture().result_b.cpm.min_k);
+  }
+  server.shutdown();
+  std::remove(snap.c_str());
+}
+
+TEST(ServeReload, NoRemoteReloadRefusesTheOpButNotTheFlagPath) {
+  const std::string snap = temp_path("norr.snap");
+  const std::string sock = temp_path("norr.sock");
+  swap_snapshot(snap, fixture().result_a);
+
+  serve::ServerOptions options;
+  options.socket_path = sock;
+  options.allow_remote_reload = false;
+  serve::Server server(snap, options);
+  server.start();
+  std::thread waiter([&server] { server.wait(); });
+  {
+    serve::Client client(sock);
+    swap_snapshot(snap, fixture().result_b);
+    EXPECT_EQ(client.request_reload(), serve::Status::kUnsupported);
+    EXPECT_EQ(client.info().min_k, fixture().result_a.cpm.min_k)
+        << "refused reload must not swap";
+
+    // request_reload() (the SIGHUP path) is always honored; wait() performs
+    // the swap on its next poll tick.
+    server.request_reload();
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (client.info().min_k != fixture().result_b.cpm.min_k) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "flag-path reload never landed";
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  server.request_shutdown();
+  waiter.join();
+  std::remove(snap.c_str());
+}
+
+TEST(ServeReload, InFlightPinKeepsTheOldMappingAlive) {
+  const std::string snap = temp_path("pin.snap");
+  const std::string sock = temp_path("pin.sock");
+  swap_snapshot(snap, fixture().result_a);
+
+  serve::ServerOptions options;
+  options.socket_path = sock;
+  serve::Server server(snap, options);
+  server.start();
+  {
+    // Pin the pre-swap view the same way a request handler does.
+    const auto pinned = server.view_ptr();
+    const std::uint64_t before_min_k = pinned->min_k();
+
+    serve::Client client(sock);
+    swap_snapshot(snap, fixture().result_b);
+    EXPECT_EQ(client.request_reload(), serve::Status::kOk);
+    EXPECT_EQ(client.info().min_k, fixture().result_b.cpm.min_k);
+
+    // The pinned mapping still answers from the old snapshot.
+    EXPECT_EQ(pinned->min_k(), before_min_k);
+    EXPECT_EQ(pinned->num_communities(),
+              fixture().result_a.cpm.total_communities());
+  }
+  server.shutdown();
+  std::remove(snap.c_str());
+}
+
+TEST(ServeReload, ReloadUnderConcurrentQueryLoad) {
+  // The TSan target: several clients hammer queries while the snapshot is
+  // swapped repeatedly underneath them. Every answer must be internally
+  // consistent with one of the two snapshots — never a torn mix.
+  const std::string snap = temp_path("hammer.snap");
+  const std::string sock = temp_path("hammer.sock");
+  swap_snapshot(snap, fixture().result_a);
+
+  serve::ServerOptions options;
+  options.socket_path = sock;
+  serve::Server server(snap, options);
+  server.start();
+
+  const std::uint64_t min_k_a = fixture().result_a.cpm.min_k;
+  const std::uint64_t min_k_b = fixture().result_b.cpm.min_k;
+  const std::uint64_t comms_a = fixture().result_a.cpm.total_communities();
+  const std::uint64_t comms_b = fixture().result_b.cpm.total_communities();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&] {
+      serve::Client client(sock);
+      while (!stop.load(std::memory_order_acquire)) {
+        const serve::ServerInfo info = client.info();
+        const bool is_a = info.min_k == min_k_a && info.num_communities == comms_a;
+        const bool is_b = info.min_k == min_k_b && info.num_communities == comms_b;
+        if (!is_a && !is_b) failures.fetch_add(1);
+      }
+    });
+  }
+  for (int swap = 0; swap < 20; ++swap) {
+    swap_snapshot(snap, swap % 2 == 0 ? fixture().result_b
+                                      : fixture().result_a);
+    ASSERT_TRUE(server.try_reload().empty()) << "swap " << swap;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0) << "torn reads across a reload";
+
+  server.shutdown();
+  std::remove(snap.c_str());
+}
+
+TEST(ServeReload, SighupReloadsTheSpawnedDaemon) {
+  if (std::getenv("KCC_BIN") == nullptr) {
+    GTEST_SKIP() << "KCC_BIN not set (run through ctest)";
+  }
+  const std::string snap = temp_path("sighup.snap");
+  const std::string sock = temp_path("sighup.sock");
+  swap_snapshot(snap, fixture().result_a);
+
+  const char* bin = std::getenv("KCC_BIN");
+  const std::string snap_flag = "--snapshot=" + snap;
+  const std::string sock_flag = "--socket=" + sock;
+  std::vector<char*> argv{const_cast<char*>(bin),
+                          const_cast<char*>("serve"),
+                          const_cast<char*>(snap_flag.c_str()),
+                          const_cast<char*>(sock_flag.c_str()), nullptr};
+  pid_t pid = -1;
+  ASSERT_EQ(::posix_spawn(&pid, bin, nullptr, nullptr, argv.data(), environ),
+            0);
+  {
+    serve::Client client(sock, /*timeout_seconds=*/20.0);
+    EXPECT_EQ(client.info().min_k, fixture().result_a.cpm.min_k);
+
+    swap_snapshot(snap, fixture().result_b);
+    ASSERT_EQ(::kill(pid, SIGHUP), 0);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (client.info().min_k != fixture().result_b.cpm.min_k) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "SIGHUP reload never landed";
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    EXPECT_EQ(client.request_shutdown(), serve::Status::kOk);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status)) << "daemon did not exit normally";
+  EXPECT_EQ(WEXITSTATUS(status), 0) << "SIGHUP must reload, not kill";
+  std::remove(snap.c_str());
+}
+
+}  // namespace
+}  // namespace kcc

@@ -19,16 +19,26 @@
 //       mmap a community snapshot (written by cpm --snapshot-out) and answer
 //       concurrent membership/community/ancestry/LCA/overlap queries over a
 //       unix-domain socket until SIGINT/SIGTERM or a remote shutdown.
+//       SIGHUP (or the remote reload op) remaps the snapshot path in place:
+//       in-flight queries finish on the old mapping, new ones see the new.
 //   kcc query --socket=PATH --op=OP [query args]
 //       One-shot client for a running serve daemon.
+//   kcc update --deltas=FILE --snapshot-out=FILE [--edges=FILE]
+//       Replay an edge-delta stream (docs/FORMATS.md#delta-streams) through
+//       the incremental CPM engine and write the refreshed snapshot
+//       atomically (tmp + rename) — the file a running `kcc serve` daemon
+//       can then reload without restarting.
 
 #include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 
+#include <sstream>
+
 #include "analysis/pipeline.h"
 #include "analysis/report.h"
+#include "check/churn.h"
 #include "common/cli.h"
 #include "common/error.h"
 #include "common/table.h"
@@ -63,9 +73,12 @@ int usage(std::ostream& out, int rc) {
       "           [--threads=N] [--engine=ENGINE]\n"
       "  info     --edges=FILE\n"
       "  serve    --snapshot=FILE --socket=PATH [--no-remote-shutdown]\n"
+      "           [--no-remote-reload]\n"
       "  query    --socket=PATH --op=info|membership|community|ancestry|\n"
-      "           lca|overlap|shutdown [--node=N] [--k=N] [--id=N] [--k2=N]\n"
-      "           [--id2=N] [--u=N] [--v=N] [--timeout=SECONDS]\n"
+      "           lca|overlap|reload|shutdown [--node=N] [--k=N] [--id=N]\n"
+      "           [--k2=N] [--id2=N] [--u=N] [--v=N] [--timeout=SECONDS]\n"
+      "  update   --deltas=FILE --snapshot-out=FILE [--edges=FILE]\n"
+      "           [--k-min=N] [--k-max=N] [--threads=N]\n"
       "  help | --help\n"
       "\n"
       "engine selection (cpm/tree/analyze):\n"
@@ -97,8 +110,15 @@ int usage(std::ostream& out, int rc) {
       "           serve: the snapshot to serve and the unix socket to bind\n"
       "  --no-remote-shutdown\n"
       "           serve: refuse the client-initiated shutdown op\n"
+      "  --no-remote-reload\n"
+      "           serve: refuse the client-initiated reload op (SIGHUP\n"
+      "           reloads keep working)\n"
       "  --op=... --node/--k/--id/--k2/--id2/--u/--v, --timeout=SECONDS\n"
       "           query: operation and its arguments (see docs/SERVING.md)\n"
+      "  --deltas=FILE\n"
+      "           update: the edge-delta stream to replay; its 'edge' lines\n"
+      "           seed the base graph unless --edges provides one instead\n"
+      "           (grammar in docs/FORMATS.md#delta-streams)\n"
       "\n"
       "observability flags (accepted by every command):\n"
       "  --log-level=off|error|warn|info|debug|trace\n"
@@ -214,6 +234,12 @@ extern "C" void kcc_serve_signal(int) {
   if (g_server != nullptr) g_server->request_shutdown();
 }
 
+extern "C" void kcc_serve_sighup(int) {
+  // Async-signal-safe: one atomic store; Server::wait performs the snapshot
+  // remap on its next poll tick.
+  if (g_server != nullptr) g_server->request_reload();
+}
+
 int cmd_serve(const CliArgs& args) {
   const std::string snapshot = args.get_string("snapshot", "");
   const std::string socket = args.get_string("socket", "");
@@ -222,6 +248,7 @@ int cmd_serve(const CliArgs& args) {
   serve::ServerOptions options;
   options.socket_path = socket;
   options.allow_remote_shutdown = !args.get_bool("no-remote-shutdown", false);
+  options.allow_remote_reload = !args.get_bool("no-remote-reload", false);
 
   serve::Server server(snapshot, options);
   std::cout << "Serving " << server.view().num_communities()
@@ -234,10 +261,12 @@ int cmd_serve(const CliArgs& args) {
   g_server = &server;
   std::signal(SIGINT, kcc_serve_signal);
   std::signal(SIGTERM, kcc_serve_signal);
+  std::signal(SIGHUP, kcc_serve_sighup);
   server.start();
   server.wait();
   std::signal(SIGINT, SIG_DFL);
   std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGHUP, SIG_DFL);
   g_server = nullptr;
   std::cout << "Shut down cleanly\n";
   return 0;
@@ -293,6 +322,14 @@ int cmd_query(const CliArgs& args) {
       std::cout << "max_k=" << overlap.max_k << " community="
                 << overlap.community << " count=" << overlap.count << "\n";
     }
+  } else if (op == "reload") {
+    const serve::Status status = client.request_reload();
+    require(status != serve::Status::kUnsupported,
+            "query: server refused reload (--no-remote-reload?)");
+    require(status == serve::Status::kOk,
+            "query: reload failed — the daemon keeps serving the previous "
+            "snapshot (check its log)");
+    std::cout << "snapshot reloaded\n";
   } else if (op == "shutdown") {
     const serve::Status status = client.request_shutdown();
     require(status == serve::Status::kOk,
@@ -301,6 +338,56 @@ int cmd_query(const CliArgs& args) {
   } else {
     throw Error("query: unknown --op '" + op + "'");
   }
+  return 0;
+}
+
+int cmd_update(const CliArgs& args) {
+  const std::string deltas_path = args.get_string("deltas", "");
+  const std::string out = args.get_string("snapshot-out", "");
+  require(!deltas_path.empty(), "update: --deltas is required");
+  require(!out.empty(), "update: --snapshot-out is required");
+  require(out != "-", "update: --snapshot-out must be a file path (the "
+                      "write is tmp + rename for atomic daemon reloads)");
+
+  std::ifstream in(deltas_path);
+  require(in.good(), "update: cannot read '" + deltas_path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  const check::DeltaStream stream = check::parse_delta_stream(text.str());
+
+  Graph base;
+  if (args.has("edges")) {
+    require(stream.base.edges.empty(),
+            "update: --edges given but '" + deltas_path +
+                "' carries its own 'edge' lines — use one base, not both");
+    base = read_edge_list_file(args.get_string("edges", "")).graph;
+  } else {
+    base = stream.base.build();
+  }
+
+  Timer timer;
+  cpm::IncrementalCpm state(base, cpm_options_from_args(args));
+  std::size_t ops = 0;
+  for (const cpm::EdgeBatch& batch : stream.batches) {
+    state.apply(batch);
+    ops += batch.size();
+  }
+  const cpm::Result run = state.result();
+
+  // tmp + rename so a serving daemon reloading the path never maps a
+  // half-written file.
+  const std::string tmp = out + ".tmp";
+  snapshot::write_snapshot_file(tmp, run,
+                                snapshot::default_manifest_json("kcc", run));
+  std::filesystem::rename(tmp, out);
+
+  std::cout << "Replayed " << stream.batches.size() << " batches (" << ops
+            << " ops) over " << base.num_nodes() << " nodes: "
+            << state.num_edges() << " edges, " << state.num_cliques()
+            << " maximal cliques, " << run.cpm.total_communities()
+            << " communities over k in [" << run.cpm.min_k << ", "
+            << run.cpm.max_k << "] (" << fixed(timer.seconds(), 2) << " s)\n";
+  std::cout << "Snapshot saved to " << out << "\n";
   return 0;
 }
 
@@ -396,8 +483,8 @@ int main(int argc, char** argv) {
         "out-dir", "scale", "seed", "edges", "min-k", "max-k", "out", "dot",
         "min-k-shown", "ixps", "countries", "geo", "log-level", "trace-out",
         "metrics-out", "report-out", "snapshot-out", "snapshot", "socket",
-        "no-remote-shutdown", "op", "node", "k", "id", "k2", "id2", "u", "v",
-        "timeout"};
+        "no-remote-shutdown", "no-remote-reload", "op", "node", "k", "id",
+        "k2", "id2", "u", "v", "timeout", "deltas"};
     for (const std::string& flag : cpm::engine_cli_flags()) {
       known.push_back(flag);
     }
@@ -425,6 +512,8 @@ int main(int argc, char** argv) {
       rc = cmd_serve(args);
     } else if (command == "query") {
       rc = cmd_query(args);
+    } else if (command == "update") {
+      rc = cmd_update(args);
     } else {
       std::cerr << "unknown command '" << command << "'\n";
       return usage(std::cerr, 2);

@@ -263,10 +263,15 @@ RepSample run_rep_in_child(const Graph& g, const BenchConfig& config,
       const std::uint64_t rss_baseline = obs::peak_rss_bytes();
       const obs::HwCounterValues hw_start = counters.read();
       Timer timer;
-      const cpm::Result result = cpm::Engine(options).run(g);
+      cpm::Result result = cpm::Engine(options).run(g);
       const double wall_ms = timer.seconds() * 1e3;
       const obs::HwCounterValues hw = counters.read() - hw_start;
       const std::uint64_t peak_delta = obs::peak_rss_bytes() - rss_baseline;
+      // Digest in canonical clique order (outside the timed window) so the
+      // cross-config identity gate compares engines that preserve
+      // enumeration order and engines that cannot (caps.
+      // canonical_clique_order, e.g. incremental) on equal footing.
+      cpm::canonicalise_clique_order(result);
       std::ostringstream line;
       line << wall_ms << ' ' << result.timings.cliques_seconds * 1e3 << ' '
            << result.timings.percolate_seconds * 1e3 << ' '
@@ -552,7 +557,8 @@ int run_matrix(const DriverOptions& o, std::vector<ConfigResult>& results,
   }
 
   // Digest gate: every exact non-reference config ran the same workload, so
-  // their canonical digests must agree (the differential fuzzer proves this
+  // their canonical digests — taken in canonical clique order, see the
+  // child — must agree (the differential fuzzer proves this
   // at depth; here it guards the measurement itself). Approximate engines
   // are exempt — their output contract is the F1 gap gate in
   // check::differential, not byte identity — but the per-rep determinism

@@ -60,6 +60,9 @@ const std::set<std::string>& allowlisted_flags() {
       "--depth",              // bench/perf_serve
       "--requests",           // bench/perf_serve
       "--latency-samples",    // bench/perf_serve
+      "--min-speedup",        // bench/perf_incr
+      "--churn",              // bench/perf_incr
+      "--core-churn",         // bench/perf_incr
   };
   return allowed;
 }

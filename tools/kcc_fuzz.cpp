@@ -8,15 +8,24 @@
 // delta-debugs the graph down to a minimal edge-list reproducer written
 // under --artifact-dir.
 //
+// --schedules adds the churn axis (check::run_churn_differential): seeded
+// graphs driven through randomized edge-batch schedules, the incremental
+// engine diffed against a from-scratch sweep after every batch. A churn
+// failure is captured as a .delta stream (initial graph + batches,
+// truncated to the failing batch) instead of a shrunken edge list; corpus
+// replay picks up committed *.delta reproducers next to the *.txt ones.
+//
 //   kcc_fuzz --seed=7 --iters=60                 # deterministic smoke
+//   kcc_fuzz --iters=0 --schedules=12            # churn smoke
 //   kcc_fuzz --corpus-dir=tests/corpus --iters=0 # replay committed repros
 //   KCC_CHECK_INJECT_FAULT=community kcc_fuzz --iters=4 --expect-fault
 //       --expect-repro=tests/corpus/inject_community_minimal.txt  (one line)
 //
 // The --expect-fault mode inverts the verdict: the run must *detect* the
 // injected corruption and shrink it (self-test against a vacuously-green
-// harness); --expect-repro additionally pins the shrunken artifact to a
-// committed minimal reproducer. docs/TESTING.md covers the workflow.
+// harness); --expect-repro additionally pins the shrunken artifact (or the
+// .delta stream, for churn failures) to a committed minimal reproducer.
+// docs/TESTING.md covers the workflow.
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -26,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "check/churn.h"
 #include "check/differential.h"
 #include "check/generators.h"
 #include "check/shrink.h"
@@ -40,7 +50,7 @@ using namespace kcc;
 
 int usage(std::ostream& out, int rc) {
   out <<
-      "usage: kcc_fuzz [--seed=N] [--iters=N] [--threads=N]\n"
+      "usage: kcc_fuzz [--seed=N] [--iters=N] [--schedules=N] [--threads=N]\n"
       "                [--corpus-dir=DIR] [--artifact-dir=DIR]\n"
       "                [--no-restricted-range] [--max-shrink-evals=N]\n"
       "                [--expect-fault] [--expect-repro=FILE]\n"
@@ -80,6 +90,15 @@ check::TestGraph load_corpus_file(const std::filesystem::path& path) {
   return g;
 }
 
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  require(static_cast<bool>(in),
+          "kcc_fuzz: cannot read " + path.string());
+  std::stringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
 struct FailureRecord {
   check::TestGraph graph;
   std::string detail;
@@ -90,9 +109,10 @@ struct FailureRecord {
 int main(int argc, char** argv) {
   try {
     std::vector<std::string> known{
-        "seed",         "iters",        "threads",
-        "corpus-dir",   "artifact-dir", "no-restricted-range",
-        "expect-fault", "expect-repro", "max-shrink-evals",
+        "seed",         "iters",        "schedules",
+        "threads",      "corpus-dir",   "artifact-dir",
+        "no-restricted-range",          "expect-fault",
+        "expect-repro", "max-shrink-evals",
         "log-level",    "trace-out",    "metrics-out",
         "help"};
     // CliArgs itself skips argv[0]; no subcommand to strip (unlike kcc).
@@ -106,6 +126,8 @@ int main(int argc, char** argv) {
 
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
     const auto iters = static_cast<std::size_t>(args.get_int("iters", 60));
+    const auto schedules =
+        static_cast<std::size_t>(args.get_int("schedules", 0));
     const std::string corpus_dir = args.get_string("corpus-dir", "");
     const std::string artifact_dir = args.get_string("artifact-dir", ".");
     const bool expect_fault = args.get_bool("expect-fault", false);
@@ -118,27 +140,40 @@ int main(int argc, char** argv) {
     diff.include_restricted_range =
         !args.get_bool("no-restricted-range", false);
 
+    check::ChurnOptions churn;
+    churn.threads = diff.threads;
+
     // The work list: committed corpus replays first, then the generated
-    // stream. Both are fully determined by the flags.
+    // stream. Both are fully determined by the flags. *.txt entries are
+    // graph reproducers for the engine matrix; *.delta entries are churn
+    // schedules replayed batch-for-batch.
     std::vector<check::TestGraph> corpus;
+    std::vector<std::filesystem::path> delta_corpus;
     if (!corpus_dir.empty()) {
       std::vector<std::filesystem::path> files;
       for (const auto& entry :
            std::filesystem::directory_iterator(corpus_dir)) {
-        if (entry.is_regular_file() && entry.path().extension() == ".txt") {
+        if (!entry.is_regular_file()) continue;
+        if (entry.path().extension() == ".txt") {
           files.push_back(entry.path());
+        } else if (entry.path().extension() == ".delta") {
+          delta_corpus.push_back(entry.path());
         }
       }
       std::sort(files.begin(), files.end());
+      std::sort(delta_corpus.begin(), delta_corpus.end());
       for (const auto& path : files) corpus.push_back(load_corpus_file(path));
     }
 
     std::size_t graphs_run = 0;
     std::size_t variants_run = 0;
+    std::size_t schedules_run = 0;
+    std::size_t batches_run = 0;
     std::uint64_t invariants_checked = 0;
     std::size_t faults_injected = 0;
     double worst_approx_f1 = 1.0;
     std::optional<FailureRecord> first_failure;
+    std::optional<check::ChurnOutcome> churn_failure;
 
     auto run_one = [&](const check::TestGraph& graph) {
       const check::DiffOutcome outcome = check::run_differential(graph, diff);
@@ -153,12 +188,35 @@ int main(int argc, char** argv) {
       return !first_failure.has_value();
     };
 
+    auto run_schedule = [&](const check::ChurnOutcome& outcome) {
+      ++schedules_run;
+      batches_run += outcome.batches_applied;
+      invariants_checked += outcome.invariants_checked;
+      if (outcome.fault_injected) ++faults_injected;
+      if (!outcome.ok() && !churn_failure) churn_failure = outcome;
+      return !churn_failure.has_value();
+    };
+
     for (const check::TestGraph& graph : corpus) {
       if (!run_one(graph)) break;
     }
     if (!first_failure) {
+      for (const auto& path : delta_corpus) {
+        if (!run_schedule(check::replay_churn_delta(read_file(path), churn))) {
+          break;
+        }
+      }
+    }
+    if (!first_failure && !churn_failure) {
       for (std::size_t i = 0; i < iters; ++i) {
         if (!run_one(check::generate_graph(seed, i))) break;
+      }
+    }
+    if (!first_failure && !churn_failure) {
+      for (std::size_t i = 0; i < schedules; ++i) {
+        if (!run_schedule(check::run_churn_differential(seed, i, churn))) {
+          break;
+        }
       }
     }
 
@@ -194,30 +252,55 @@ int main(int argc, char** argv) {
                 << artifact_path << "\n";
 
       if (!expect_repro.empty()) {
-        std::ifstream expected_in(expect_repro);
-        require(static_cast<bool>(expected_in),
-                "kcc_fuzz: cannot read --expect-repro file " + expect_repro);
-        std::stringstream expected_text;
-        expected_text << expected_in.rdbuf();
-        repro_matches = edge_lines(expected_text.str()) ==
+        repro_matches = edge_lines(read_file(expect_repro)) ==
                         edge_lines(shrunk.graph.to_edge_list());
         if (!repro_matches) {
           std::cerr << "shrunken reproducer does not match " << expect_repro
                     << "\n";
         }
       }
+    } else if (churn_failure) {
+      std::cerr << "FAILURE on " << churn_failure->label << ":\n"
+                << churn_failure->failure << "\n";
+      // A churn failure is already minimal along the only axis that
+      // matters for replay — the schedule is truncated to the failing
+      // batch — so the delta stream is written as-is, no ddmin pass.
+      std::filesystem::create_directories(artifact_dir);
+      artifact_path =
+          (std::filesystem::path(artifact_dir) /
+           ("repro_churn_seed" + std::to_string(seed) + ".delta"))
+              .string();
+      std::ofstream out(artifact_path);
+      require(static_cast<bool>(out),
+              "kcc_fuzz: cannot write artifact " + artifact_path);
+      out << churn_failure->repro;
+      out.close();
+      std::cerr << "delta-stream reproducer ("
+                << churn_failure->batches_applied << " batches) -> "
+                << artifact_path << "\n";
+      if (!expect_repro.empty()) {
+        repro_matches =
+            edge_lines(read_file(expect_repro)) ==
+            edge_lines(churn_failure->repro);
+        if (!repro_matches) {
+          std::cerr << "delta-stream reproducer does not match "
+                    << expect_repro << "\n";
+        }
+      }
     }
 
+    const bool failed = first_failure.has_value() || churn_failure.has_value();
     std::cout << "kcc_fuzz: " << graphs_run << " graphs, " << variants_run
-              << " engine runs, " << invariants_checked
+              << " engine runs, " << schedules_run << " churn schedules, "
+              << batches_run << " batches, " << invariants_checked
               << " invariants checked, " << faults_injected
               << " faults injected, worst approximate F1 " << worst_approx_f1
-              << ", " << (first_failure ? 1 : 0) << " failures\n";
+              << ", " << (failed ? 1 : 0) << " failures\n";
     obs::finish(obs_options);
 
     if (expect_fault) {
-      // Self-test: the injected corruption must be caught and shrunk.
-      if (!first_failure) {
+      // Self-test: the injected corruption must be caught and reproduced.
+      if (!failed) {
         std::cerr << "expected an injected fault to be detected, but every "
                      "run came back clean\n";
         return 1;
@@ -228,7 +311,7 @@ int main(int argc, char** argv) {
       }
       return repro_matches ? 0 : 1;
     }
-    return first_failure ? 1 : 0;
+    return failed ? 1 : 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
